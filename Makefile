@@ -1,0 +1,28 @@
+# Standard targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments report examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro all
+
+report:
+	$(PYTHON) -m repro report experiment-report.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null && echo OK || exit 1; \
+	done
+
+all: test bench experiments examples

@@ -1,0 +1,70 @@
+"""Ablation benchmarks for DESIGN.md's key design choices.
+
+* the tree interval solver vs the dense reference solver vs brute-force
+  enumeration (why interval propagation is the production path);
+* the abstract observation path vs the full message-passing engine;
+* the bandwidth experiment (``tab-bandwidth``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_and_record
+
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.core.counting.optimal import count_mdbl2, count_mdbl2_abstract
+from repro.core.solver import (
+    feasible_size_interval,
+    feasible_size_set_bruteforce,
+)
+from repro.core.solver_dense import feasible_size_interval_dense
+from repro.networks.multigraph import DynamicMultigraph
+
+ROUNDS = 4
+N_NODES = 12
+
+
+def _observations():
+    multigraph = DynamicMultigraph.random(
+        2, N_NODES, ROUNDS, np.random.default_rng(23)
+    )
+    return multigraph.observations(ROUNDS)
+
+
+def test_tree_solver(benchmark):
+    observations = _observations()
+    interval = benchmark(feasible_size_interval, observations)
+    assert N_NODES in interval
+
+
+def test_dense_solver(benchmark):
+    observations = _observations()
+    interval = benchmark(feasible_size_interval_dense, observations)
+    assert N_NODES in interval
+
+
+def test_bruteforce_solver(benchmark):
+    observations = _observations()
+    sizes = benchmark(feasible_size_set_bruteforce, observations)
+    assert N_NODES in sizes
+    # The three implementations agree on this instance (the test suite
+    # fuzzes this property; here it guards the benchmark's inputs).
+    assert sizes == set(feasible_size_interval(observations))
+    assert sizes == set(feasible_size_interval_dense(observations))
+
+
+def test_abstract_path_n364(benchmark):
+    adversary = max_ambiguity_multigraph(364)
+    outcome = benchmark(count_mdbl2_abstract, adversary)
+    assert outcome.count == 364
+
+
+def test_engine_path_n364(benchmark):
+    adversary = max_ambiguity_multigraph(364)
+    outcome = benchmark(count_mdbl2, adversary)
+    assert outcome.count == 364
+
+
+def test_bandwidth_table(results_dir, benchmark):
+    result = benchmark(run_and_record, results_dir, "tab-bandwidth")
+    assert result.passed

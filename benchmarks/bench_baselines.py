@@ -1,0 +1,39 @@
+"""Benchmark for the IDs / gossip baseline experiment.
+
+Experiment id: ``tab-baselines``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.adversaries.worst_case import worst_case_pd2_network
+from repro.core.counting.gossip import gossip_size_estimates
+from repro.core.counting.token_ids import count_with_ids
+from repro.networks.generators.random_dynamic import RandomConnectedAdversary
+from repro.networks.properties import dynamic_diameter
+
+
+def test_baselines_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-baselines"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_token_ids_n124(benchmark):
+    network, layout = worst_case_pd2_network(121)
+    horizon = dynamic_diameter(network, start_rounds=2)
+
+    outcome = benchmark(count_with_ids, network, horizon)
+    assert outcome.count == layout.n
+
+
+def test_gossip_n128_40_rounds(benchmark):
+    adversary = RandomConnectedAdversary(128, seed=3)
+
+    estimates = benchmark(gossip_size_estimates, adversary, 128, 40)
+    assert abs(estimates[-1] - 128) / 128 < 0.05

@@ -1,0 +1,29 @@
+"""Benchmark for the Corollary 1 chain-network experiment.
+
+Experiment id: ``tab-corollary1-diameter``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.core.counting.chain import count_chain_pd2
+from repro.core.lowerbound.bounds import corollary1_bound
+
+
+def test_corollary1_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-corollary1-diameter"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_chain_protocol_n40_chain8(benchmark):
+    core = max_ambiguity_multigraph(40)
+    outcome = benchmark(count_chain_pd2, core, 8)
+    assert outcome.count == 40
+    assert outcome.rounds == corollary1_bound(40, 8)

@@ -1,0 +1,85 @@
+"""Benchmarks for the extension experiments.
+
+Experiment ids: ``tab-general-k``, ``tab-adaptive-adversary``,
+``tab-adversarial-randomness``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.adversaries.exhaustive import exhaustive_max_rounds
+from repro.core.lowerbound.bounds import rounds_to_count
+from repro.core.lowerbound.general import min_negative_mass
+from repro.core.solver_general import count_mdblk_abstract
+from repro.networks.multigraph import DynamicMultigraph
+
+import numpy as np
+
+
+def test_general_k_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-general-k"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_adaptive_adversary_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-adaptive-adversary"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_adversarial_randomness_table(results_dir, benchmark):
+    result = benchmark(
+        run_and_record, results_dir, "tab-adversarial-randomness"
+    )
+    assert result.passed
+
+
+def test_milp_min_negative_mass_k3_r1(benchmark):
+    assert benchmark(min_negative_mass, 3, 1) == 4
+
+
+def test_exhaustive_adversary_n5(benchmark):
+    assert benchmark(exhaustive_max_rounds, 5) == rounds_to_count(5)
+
+
+def test_general_counter_k3_n10(benchmark):
+    multigraph = DynamicMultigraph.random(
+        3, 10, 8, np.random.default_rng(17)
+    )
+    outcome = benchmark(count_mdblk_abstract, multigraph)
+    assert outcome.count == 10
+
+
+def test_naming_vs_counting_table(results_dir, benchmark):
+    result = benchmark(run_and_record, results_dir, "tab-naming-vs-counting")
+    assert result.passed
+
+
+def test_dynamics_families_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-dynamics-families"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_token_dissemination_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-token-dissemination"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

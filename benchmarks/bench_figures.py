@@ -1,0 +1,57 @@
+"""Benchmarks regenerating the paper's Figures 1-4.
+
+Experiment ids: ``fig1-pd2-example``, ``fig2-transformation``,
+``fig3-indistinguishable-r0``, ``fig4-indistinguishable-r1``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.core.counting.optimal import count_mdbl2_abstract
+from repro.core.lowerbound.pairs import paper_figure4_pair
+from repro.networks.generators.figures import paper_figure1
+from repro.networks.properties import dynamic_diameter
+
+
+def test_fig1_pd2_example(benchmark, results_dir):
+    result = run_and_record(results_dir, "fig1-pd2-example")
+    assert result.passed
+
+    figure = paper_figure1()
+
+    def measure_diameter():
+        return dynamic_diameter(figure.graph, start_rounds=3)
+
+    assert benchmark(measure_diameter) == 4
+
+
+def test_fig2_transformation(benchmark, results_dir):
+    run_and_record(results_dir, "fig2-transformation")
+
+    from repro.networks.generators.figures import paper_figure2_multigraph
+    from repro.networks.transform import mdbl_to_pd2
+
+    multigraph = paper_figure2_multigraph()
+
+    def transform_round():
+        graph, _layout = mdbl_to_pd2(multigraph)
+        return graph.at(0).number_of_edges()
+
+    assert benchmark(transform_round) == 10
+
+
+def test_fig3_indistinguishable_r0(benchmark, results_dir):
+    result = benchmark(run_and_record, results_dir, "fig3-indistinguishable-r0")
+    assert result.passed
+
+
+def test_fig4_indistinguishable_r1(benchmark, results_dir):
+    run_and_record(results_dir, "fig4-indistinguishable-r1")
+
+    smaller, _larger = paper_figure4_pair()
+
+    def count_twin():
+        return count_mdbl2_abstract(smaller).count
+
+    assert benchmark(count_twin) == 4

@@ -1,0 +1,44 @@
+"""Benchmarks for the headline lower-bound experiments.
+
+Experiment ids: ``tab-ambiguity-horizon``, ``fig-counting-rounds-vs-n``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.core.counting.optimal import count_mdbl2, count_mdbl2_abstract
+from repro.core.lowerbound.bounds import rounds_to_count
+
+
+def test_ambiguity_horizon_table(results_dir, benchmark):
+    result = benchmark(run_and_record, results_dir, "tab-ambiguity-horizon")
+    assert result.passed
+
+
+def test_counting_rounds_vs_n_table(results_dir, benchmark):
+    # The full table (n up to 1000, three fair seeds per size) is the
+    # reproduction's headline artifact; benchmark one regeneration.
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "fig-counting-rounds-vs-n"),
+        kwargs={"max_n": 1000},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_optimal_counter_abstract_n1000(benchmark):
+    adversary = max_ambiguity_multigraph(1000)
+    outcome = benchmark(count_mdbl2_abstract, adversary)
+    assert outcome.count == 1000
+    assert outcome.rounds == rounds_to_count(1000)
+
+
+def test_optimal_counter_engine_n121(benchmark):
+    adversary = max_ambiguity_multigraph(121)
+    outcome = benchmark(count_mdbl2, adversary)
+    assert outcome.count == 121
+    assert outcome.rounds == rounds_to_count(121)

@@ -1,0 +1,40 @@
+"""Benchmarks for the degree-oracle gap and the G(PD)_1 star table.
+
+Experiment ids: ``tab-oracle-gap``, ``tab-star-pd1``.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+from repro.adversaries.worst_case import worst_case_pd2_network
+from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
+from repro.core.counting.star import count_star
+
+
+def test_oracle_gap_table(results_dir, benchmark):
+    result = benchmark.pedantic(
+        run_and_record,
+        args=(results_dir, "tab-oracle-gap"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed
+
+
+def test_star_pd1_table(results_dir, benchmark):
+    result = benchmark(run_and_record, results_dir, "tab-star-pd1")
+    assert result.passed
+
+
+def test_degree_oracle_n364(benchmark):
+    network, layout = worst_case_pd2_network(364)
+    outcome = benchmark(count_pd2_with_degree_oracle, network)
+    assert outcome.count == layout.n
+    assert outcome.rounds == 3
+
+
+def test_star_counter_n1025(benchmark):
+    outcome = benchmark(count_star, 1025)
+    assert outcome.count == 1025
+    assert outcome.rounds == 1

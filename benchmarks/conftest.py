@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's index,
+asserts all of its verification checks, writes the rendered table to
+``benchmarks/results/<experiment>.txt``, and times a representative
+workload with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.registry import ExperimentResult, run_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record_result(results_dir: Path, result: ExperimentResult) -> None:
+    """Persist the rendered experiment table and assert every check."""
+    (results_dir / f"{result.experiment}.txt").write_text(
+        result.render() + "\n"
+    )
+    assert result.passed, (
+        f"{result.experiment} failed checks: {result.failed_checks()}"
+    )
+
+
+def run_and_record(
+    results_dir: Path, experiment: str, **params
+) -> ExperimentResult:
+    """Run an experiment, persist its table, assert its checks."""
+    result = run_experiment(experiment, **params)
+    record_result(results_dir, result)
+    return result

@@ -1,0 +1,85 @@
+"""Scenario: inspecting a dynamic network's anonymity structure.
+
+Before deploying a protocol on an anonymous dynamic network, an
+engineer wants to know: *which nodes can ever be told apart, can they
+be named, how long does ambiguity about the size persist, and what does
+resolving it cost in bandwidth?*  This example is that inspection tool,
+run on the paper's own Figure 1 network and on a worst-case adversary.
+
+Run:  python examples/anonymity_inspector.py
+"""
+
+from repro import max_ambiguity_multigraph
+from repro.analysis.bandwidth import measure_labeled_bandwidth
+from repro.analysis.tables import render_table
+from repro.adversaries.worst_case import measured_ambiguity_curve
+from repro.core.counting.optimal import (
+    AnonymousStateProcess,
+    OptimalLeaderProcess,
+)
+from repro.core.naming import earliest_naming_round, naming_is_possible
+from repro.core.views import symmetry_degree, view_classes
+from repro.networks.generators.figures import paper_figure1
+from repro.networks.render import (
+    render_ambiguity_curve,
+    render_dynamic_graph,
+    render_multigraph_round,
+)
+
+FLEET = 40
+
+
+def inspect_figure1() -> None:
+    figure = paper_figure1()
+    print("=== Figure 1 network: three rounds of topology ===")
+    labels = {0: "vl", 1: "m1", 2: "m2", 3: "v0", 4: "w", 5: "v3"}
+    print(render_dynamic_graph(figure.graph, 3, labels=labels))
+
+    print("\n=== Who can ever be told apart? (view classes by depth) ===")
+    rows = []
+    for depth in range(5):
+        classes = view_classes(figure.graph, depth, leader=0)
+        rows.append(
+            {
+                "depth": depth,
+                "classes": [
+                    [labels[node] for node in members] for members in classes
+                ],
+                "largest symmetric class": symmetry_degree(
+                    figure.graph, depth, leader=0
+                ),
+            }
+        )
+    print(render_table(rows))
+    naming_round = earliest_naming_round(figure.graph, leader=0)
+    print(f"\nnaming possible: {naming_is_possible(figure.graph, 8, leader=0)}"
+          f" (views separate all nodes at depth {naming_round})")
+
+
+def inspect_worst_case() -> None:
+    print(f"\n=== Worst-case adversary, {FLEET} anonymous nodes ===")
+    adversary = max_ambiguity_multigraph(FLEET)
+    print(render_multigraph_round(adversary, 0))
+
+    widths = measured_ambiguity_curve(adversary)
+    print("\nhow long does size ambiguity persist?")
+    print(render_ambiguity_curve(widths))
+
+    traffic = measure_labeled_bandwidth(
+        OptimalLeaderProcess(),
+        [AnonymousStateProcess() for _ in range(FLEET)],
+        max_ambiguity_multigraph(FLEET),
+    )
+    print("\nand what does resolving it cost? (atoms broadcast per round)")
+    print(render_ambiguity_curve(traffic))
+    print("\npayloads grow every round: the optimal anonymous counter "
+          "spends bandwidth to buy back what anonymity hides.")
+
+
+def main() -> None:
+    inspect_figure1()
+    inspect_worst_case()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Scenario: auditing an anonymous edge cluster behind a relay backbone.
+
+An operator's console (the leader) reaches an anonymous pool of edge
+workers only through a static chain of relays -- the Corollary 1
+topology.  The audit question: *how many rounds must the console wait
+before its worker count is provably correct?*
+
+The answer decomposes into (relay depth) + (anonymity cost), which this
+example measures by real protocol executions at several depths and pool
+sizes, and cross-checks against the closed-form bound
+``rounds_to_count(n) + depth + 1``.  It also measures plain
+dissemination (flooding) time on the same networks to show that the
+counting cost strictly exceeds the network's communication cost.
+
+Run:  python examples/relay_backbone_audit.py
+"""
+
+from repro import max_ambiguity_multigraph
+from repro.analysis.tables import render_table
+from repro.core.counting.chain import count_chain_pd2
+from repro.core.lowerbound.bounds import corollary1_bound
+from repro.networks.generators.chains import chain_pd2_network
+from repro.networks.properties import dynamic_diameter, flood_completion_time
+
+
+def main() -> None:
+    print("=== Relay backbone audit: rounds until a provable count ===\n")
+    rows = []
+    for workers in (10, 40, 160):
+        for depth in (0, 4, 12):
+            core = max_ambiguity_multigraph(workers)
+            network, layout = chain_pd2_network(core, depth)
+            outcome = count_chain_pd2(core, depth)
+            rows.append(
+                {
+                    "workers": workers,
+                    "relay depth": depth,
+                    "|V|": layout.n,
+                    "dynamic diameter": dynamic_diameter(
+                        network, start_rounds=2
+                    ),
+                    "flood time": flood_completion_time(network, 0),
+                    "audit rounds": outcome.rounds,
+                    "closed form": corollary1_bound(workers, depth),
+                    "count ok": outcome.count == workers,
+                }
+            )
+    print(render_table(rows))
+    print(
+        "\naudit rounds = (relay depth + 1) + rounds_to_count(workers): the "
+        "backbone adds its depth, anonymity adds its log -- and flooding "
+        "alone is always cheaper than counting."
+    )
+
+
+if __name__ == "__main__":
+    main()

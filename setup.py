@@ -1,0 +1,5 @@
+"""Setup shim for environments installing without PEP 517 build isolation."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""repro: counting in anonymous dynamic networks.
+
+A production-quality reproduction of Di Luna & Baldoni, *Investigating
+the Cost of Anonymity on Dynamic Networks* (brief announcement at PODC
+2015): a synchronous anonymous message-passing simulator, the
+``G(PD)_h`` / ``M(DBL)_k`` dynamic network families, the paper's linear
+algebra lower-bound machinery in exact arithmetic, an
+information-theoretically optimal anonymous counting algorithm, and the
+baselines (stars, degree oracle, IDs, gossip) that situate the cost of
+anonymity.
+
+Quickstart::
+
+    from repro import count_mdbl2_abstract, max_ambiguity_multigraph
+
+    adversary = max_ambiguity_multigraph(100)
+    outcome = count_mdbl2_abstract(adversary)
+    print(outcome.count, outcome.rounds)  # 100, log-many rounds
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from repro.adversaries import (
+    GreedyAmbiguityAdversary,
+    RandomLabelAdversary,
+    exhaustive_max_rounds,
+    greedy_schedule,
+    max_ambiguity_multigraph,
+    measured_ambiguity_curve,
+    worst_case_pd2_network,
+)
+from repro.core import (
+    ObservationSequence,
+    SizeInterval,
+    feasible_size_interval,
+)
+from repro.core.dissemination import (
+    disseminate_by_flooding,
+    disseminate_by_token_forwarding,
+)
+from repro.core.naming import earliest_naming_round, naming_is_possible
+from repro.core.solver_general import (
+    count_mdblk,
+    count_mdblk_abstract,
+    feasible_sizes_general,
+)
+from repro.core.views import symmetry_degree, view_classes
+from repro.core.counting import (
+    CountingOutcome,
+    count_mdbl2,
+    count_mdbl2_abstract,
+    count_pd2_with_degree_oracle,
+    count_star,
+    count_with_ids,
+    flood_time_via_protocol,
+    gossip_size_estimates,
+)
+from repro.core.lowerbound import (
+    ambiguity_horizon,
+    closed_form_kernel,
+    min_output_round,
+    rounds_to_count,
+    theorem1_bound,
+    twin_multigraphs,
+)
+from repro.networks import (
+    DynamicGraph,
+    DynamicMultigraph,
+    dynamic_diameter,
+    mdbl_to_pd2,
+    verify_pd,
+)
+from repro.simulation import (
+    EngineConfig,
+    Process,
+    SimulationResult,
+    SynchronousEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountingOutcome",
+    "DynamicGraph",
+    "DynamicMultigraph",
+    "EngineConfig",
+    "GreedyAmbiguityAdversary",
+    "ObservationSequence",
+    "Process",
+    "RandomLabelAdversary",
+    "SimulationResult",
+    "SizeInterval",
+    "SynchronousEngine",
+    "__version__",
+    "ambiguity_horizon",
+    "closed_form_kernel",
+    "count_mdbl2",
+    "count_mdbl2_abstract",
+    "count_mdblk",
+    "count_mdblk_abstract",
+    "disseminate_by_flooding",
+    "disseminate_by_token_forwarding",
+    "earliest_naming_round",
+    "exhaustive_max_rounds",
+    "feasible_sizes_general",
+    "greedy_schedule",
+    "naming_is_possible",
+    "symmetry_degree",
+    "view_classes",
+    "count_pd2_with_degree_oracle",
+    "count_star",
+    "count_with_ids",
+    "dynamic_diameter",
+    "feasible_size_interval",
+    "flood_time_via_protocol",
+    "gossip_size_estimates",
+    "max_ambiguity_multigraph",
+    "mdbl_to_pd2",
+    "measured_ambiguity_curve",
+    "min_output_round",
+    "rounds_to_count",
+    "theorem1_bound",
+    "twin_multigraphs",
+    "verify_pd",
+    "worst_case_pd2_network",
+]

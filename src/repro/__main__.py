@@ -1,0 +1,7 @@
+"""Allow ``python -m repro ...`` to invoke the CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

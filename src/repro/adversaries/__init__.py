@@ -1,0 +1,34 @@
+"""Adversaries: executable strategies for choosing the round topology.
+
+* :mod:`repro.adversaries.worst_case` -- the omniscient worst-case
+  adversary of the lower bound: kernel-derived ``M(DBL)_2`` schedules
+  that keep the leader's feasible-size interval wide for as long as
+  Lemma 5 permits.
+* :mod:`repro.adversaries.random_fair` -- fair adversaries (random
+  dynamics that do not conspire against the algorithm), used by the
+  baseline experiments.
+
+Worst-case adversaries here are *schedules* rather than callbacks: the
+model is deterministic, so the adversary can commit to the entire label
+history upfront (the proof of Lemma 5 does exactly that), which also
+makes every experiment reproducible bit for bit.
+"""
+
+from repro.adversaries.exhaustive import exhaustive_max_rounds
+from repro.adversaries.greedy import GreedyAmbiguityAdversary, greedy_schedule
+from repro.adversaries.random_fair import RandomLabelAdversary
+from repro.adversaries.worst_case import (
+    max_ambiguity_multigraph,
+    measured_ambiguity_curve,
+    worst_case_pd2_network,
+)
+
+__all__ = [
+    "GreedyAmbiguityAdversary",
+    "RandomLabelAdversary",
+    "exhaustive_max_rounds",
+    "greedy_schedule",
+    "max_ambiguity_multigraph",
+    "measured_ambiguity_curve",
+    "worst_case_pd2_network",
+]

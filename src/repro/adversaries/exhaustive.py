@@ -1,0 +1,118 @@
+"""Exhaustive optimal adversary: exact tightness certificates for tiny n.
+
+Against a deterministic leader whose outputs do not influence the
+dynamics, an adaptive adversary gains nothing over a committed
+schedule; the strongest adversary is therefore the schedule maximising
+the number of rounds until the leader's feasible-size interval
+collapses.  For small ``n`` that maximum can be computed *exactly* by
+searching the schedule tree.
+
+The key structural fact making the search tractable: the multiset of
+node histories determines the entire observation sequence (observation
+``C(v_l, i)`` is a function of the length-``(i+1)`` history prefixes),
+so states can be memoised on the canonical history multiset alone.
+
+The ``tab-adaptive-adversary`` experiment uses this to certify that
+``rounds_to_count(n)`` is *exactly* optimal for every small ``n``: no
+adversary of any kind keeps the leader ambiguous longer than the
+Lemma 5 construction does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+
+from repro.core.solver import feasible_size_interval
+from repro.core.states import ObservationSequence
+
+__all__ = ["exhaustive_max_rounds"]
+
+_ONE = frozenset({1})
+_TWO = frozenset({2})
+_BOTH = frozenset({1, 2})
+_CHOICES = (_ONE, _TWO, _BOTH)
+
+_SORT_KEY = {_ONE: 0, _TWO: 1, _BOTH: 2}
+
+
+def _canonical(histories: Counter) -> tuple:
+    """Canonical hashable form of a history multiset."""
+    return tuple(
+        sorted(
+            histories.items(),
+            key=lambda item: ([_SORT_KEY[labels] for labels in item[0]], item[1]),
+        )
+    )
+
+
+def _observations_of(histories: Counter, rounds: int) -> ObservationSequence:
+    """Reconstruct the full observation sequence from a history multiset."""
+    observations = ObservationSequence(2)
+    for round_no in range(rounds):
+        observation: Counter = Counter()
+        for history, count in histories.items():
+            prefix = history[:round_no]
+            for label in history[round_no]:
+                observation[(label, prefix)] += count
+        observations.append(observation)
+    return observations
+
+
+def _compositions(total: int):
+    for c1 in range(total + 1):
+        for c2 in range(total - c1 + 1):
+            yield (c1, c2, total - c1 - c2)
+
+
+def exhaustive_max_rounds(n: int, *, max_rounds: int = 8) -> int:
+    """The exact optimum: max rounds any adversary keeps ``n`` ambiguous.
+
+    Returns the number of executed rounds after which the leader's
+    interval first collapses, maximised over *all* ``M(DBL)_2``
+    schedules (searched exhaustively with memoisation).  Feasible up to
+    roughly ``n = 8``; cost grows combinatorially beyond.
+
+    The returned value is the exact counting complexity of size ``n``
+    in this model; Theorem 1 predicts it equals
+    ``rounds_to_count(n) = ⌊log_3(2n+1)⌋ + 1``.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    memo: dict[tuple, int] = {}
+
+    def best_from(histories: Counter, rounds: int) -> int:
+        """Rounds until collapse, maximised over future schedules."""
+        if rounds > 0:
+            width = feasible_size_interval(
+                _observations_of(histories, rounds)
+            ).width
+            if width == 0:
+                return rounds
+        key = _canonical(histories)
+        if key in memo:
+            return memo[key]
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"ambiguity persisted beyond {max_rounds} rounds -- "
+                "raise max_rounds"
+            )
+        classes = sorted(
+            histories.items(),
+            key=lambda item: [_SORT_KEY[labels] for labels in item[0]],
+        )
+        best = rounds
+        option_lists = [
+            list(_compositions(count)) for _history, count in classes
+        ]
+        for assignment in itertools.product(*option_lists):
+            extended: Counter = Counter()
+            for (history, _count), split in zip(classes, assignment):
+                for labels, how_many in zip(_CHOICES, split):
+                    if how_many:
+                        extended[history + (labels,)] += how_many
+            best = max(best, best_from(extended, rounds + 1))
+        memo[key] = best
+        return best
+
+    return best_from(Counter({(): n}), 0)

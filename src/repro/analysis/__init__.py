@@ -1,0 +1,32 @@
+"""Experiment harness: sweeps, fits, tables, and the experiment registry.
+
+* :mod:`repro.analysis.tables` -- plain-text table rendering shared by
+  the CLI and the benchmarks.
+* :mod:`repro.analysis.fitting` -- least-squares fits of
+  ``a + b·log_3 n`` curves (the shape claimed by Theorem 2).
+* :mod:`repro.analysis.registry` -- every experiment of DESIGN.md's
+  index as a named, parameterised, runnable entry.
+* :mod:`repro.analysis.sweep` -- small sweep helpers (log-spaced sizes,
+  timing).
+"""
+
+from repro.analysis.fitting import LogFit, fit_log3
+from repro.analysis.registry import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.analysis.sweep import log_spaced_sizes
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "LogFit",
+    "available_experiments",
+    "fit_log3",
+    "get_experiment",
+    "log_spaced_sizes",
+    "render_table",
+    "run_experiment",
+]

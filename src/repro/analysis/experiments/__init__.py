@@ -1,0 +1,14 @@
+"""Experiment implementations, one module per DESIGN.md group.
+
+* :mod:`repro.analysis.experiments.figures` -- the paper's Figures 1-4.
+* :mod:`repro.analysis.experiments.kernel` -- Lemmas 2-4 (matrix/kernel
+  structure table).
+* :mod:`repro.analysis.experiments.lower_bound` -- Lemma 5 / Theorems
+  1-2 (ambiguity horizon, rounds-vs-n headline curve).
+* :mod:`repro.analysis.experiments.corollary` -- Corollary 1 (chain
+  networks, ``D + Ω(log |V|)``).
+* :mod:`repro.analysis.experiments.oracle` -- the Discussion's degree
+  oracle gap and the ``G(PD)_1`` star observation.
+* :mod:`repro.analysis.experiments.baselines` -- IDs and gossip
+  baselines (Section 2 context).
+"""

@@ -1,0 +1,87 @@
+"""Ablation experiment: how good is the Lemma 5 adversary, really?
+
+Three adversaries face the optimal counter on the same sizes:
+
+* the paper's **kernel schedule** (Lemma 5, committed upfront);
+* a **greedy adaptive** adversary maximising the leader's next-round
+  ambiguity (one-step lookahead over all label assignments);
+* the **exhaustive optimum** over all schedules (tiny ``n`` only --
+  exact by memoised search).
+
+Findings encoded as checks: the kernel schedule meets the theoretical
+bound at every size; the exhaustive optimum *equals* it (the bound is
+exactly tight, not just asymptotically); and the greedy adversary is
+strictly worse -- maximising immediate ambiguity spends the very
+symmetry the sustained construction relies on, so the lower bound
+genuinely needs the paper's kernel structure.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.exhaustive import exhaustive_max_rounds
+from repro.adversaries.greedy import GreedyAmbiguityAdversary
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.analysis.registry import ExperimentResult
+from repro.core.counting.optimal import count_mdbl2_abstract
+from repro.core.lowerbound.bounds import rounds_to_count
+
+__all__ = ["adaptive_adversary_ablation"]
+
+
+def adaptive_adversary_ablation(
+    *,
+    sizes: tuple[int, ...] = (2, 3, 4, 5, 6, 8, 13, 40),
+    exhaustive_max_n: int = 6,
+) -> ExperimentResult:
+    """Kernel vs greedy vs exhaustive adversaries, measured rounds."""
+    rows = []
+    checks: dict[str, bool] = {}
+    for n in sizes:
+        kernel_rounds = count_mdbl2_abstract(
+            max_ambiguity_multigraph(n)
+        ).rounds
+        greedy = GreedyAmbiguityAdversary(n)
+        greedy_rounds = greedy.play_until_pinned()
+        exhaustive = (
+            exhaustive_max_rounds(n) if n <= exhaustive_max_n else None
+        )
+        theory = rounds_to_count(n)
+        rows.append(
+            {
+                "n": n,
+                "theory optimum": theory,
+                "kernel schedule": kernel_rounds,
+                "greedy adaptive": greedy_rounds,
+                "exhaustive optimum": exhaustive
+                if exhaustive is not None
+                else "(too large)",
+            }
+        )
+        key = f"n{n}"
+        checks[f"{key}_kernel_meets_theory"] = kernel_rounds == theory
+        checks[f"{key}_greedy_never_beats_theory"] = greedy_rounds <= theory
+        if exhaustive is not None:
+            checks[f"{key}_exhaustive_equals_theory"] = exhaustive == theory
+    checks["greedy_strictly_worse_somewhere"] = any(
+        row["greedy adaptive"] < row["theory optimum"] for row in rows
+    )
+    return ExperimentResult(
+        experiment="tab-adaptive-adversary",
+        title="Ablation: kernel schedule vs greedy vs exhaustive adversaries",
+        headers=[
+            "n",
+            "theory optimum",
+            "kernel schedule",
+            "greedy adaptive",
+            "exhaustive optimum",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "exhaustive optimum searches every M(DBL)_2 schedule (exact); "
+            "its agreement with the theory certifies the bound is tight",
+            "the greedy adversary maximises next-round ambiguity and "
+            "collapses early: sustained ambiguity requires the kernel "
+            "construction, not just adaptivity",
+        ],
+    )

@@ -1,0 +1,90 @@
+"""Experiment: Corollary 1 -- ``D + Ω(log |V|)`` on chain networks.
+
+Sweeps chain length (which sets the dynamic diameter) against core size
+(which sets the anonymity cost) and verifies that the measured counting
+time decomposes additively, while plain dissemination (flooding) only
+costs ``D`` -- the separation between counting and information
+dissemination that the paper's conclusion highlights.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import ExperimentResult
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.core.counting.chain import count_chain_pd2
+from repro.core.lowerbound.bounds import corollary1_bound, rounds_to_count
+from repro.networks.generators.chains import chain_pd2_network
+from repro.networks.properties import dynamic_diameter, flood_completion_time
+
+__all__ = ["corollary1_table"]
+
+
+def corollary1_table(
+    *,
+    sizes: tuple[int, ...] = (4, 13, 40),
+    chain_lengths: tuple[int, ...] = (0, 2, 4, 8),
+    diameter_start_rounds: int = 4,
+) -> ExperimentResult:
+    """Measured counting time vs ``D`` on Corollary 1 gadgets.
+
+    For every ``(n, chain_length)`` pair: build the chain network from
+    the worst-case core schedule, measure its dynamic diameter ``D`` by
+    exhaustive flooding, measure the flooding (dissemination) time from
+    the leader, run the chain counting protocol through the engine, and
+    compare against ``corollary1_bound``.
+    """
+    rows = []
+    checks: dict[str, bool] = {}
+    for n in sizes:
+        for chain_length in chain_lengths:
+            core = max_ambiguity_multigraph(n)
+            network, layout = chain_pd2_network(core, chain_length)
+            measured_d = dynamic_diameter(
+                network, start_rounds=diameter_start_rounds
+            )
+            leader_flood = flood_completion_time(network, layout.leader, 0)
+            outcome = count_chain_pd2(core, chain_length)
+            bound = corollary1_bound(n, chain_length)
+            rows.append(
+                {
+                    "n core": n,
+                    "chain L": chain_length,
+                    "|V|": layout.n,
+                    "dynamic diameter D": measured_d,
+                    "flood from leader": leader_flood,
+                    "counting rounds": outcome.rounds,
+                    "bound L+log-term": bound,
+                    "count correct": outcome.count == n,
+                }
+            )
+            key = f"n{n}_L{chain_length}"
+            checks[f"{key}_count_correct"] = outcome.count == n
+            checks[f"{key}_rounds_match_bound"] = outcome.rounds == bound
+            checks[f"{key}_counting_exceeds_dissemination"] = (
+                outcome.rounds > leader_flood
+            )
+            # The additive decomposition: the chain contributes exactly
+            # its length to the counting time.
+            checks[f"{key}_additive_in_chain"] = (
+                outcome.rounds - chain_length == rounds_to_count(n) + 1
+            )
+    return ExperimentResult(
+        experiment="tab-corollary1-diameter",
+        title="Corollary 1: counting needs D + Omega(log |V|) rounds",
+        headers=[
+            "n core",
+            "chain L",
+            "|V|",
+            "dynamic diameter D",
+            "flood from leader",
+            "counting rounds",
+            "bound L+log-term",
+            "count correct",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "flooding (dissemination) completes within D while counting "
+            "additionally pays the log-size anonymity cost",
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Extension experiment: dissemination regimes (Section 2's backdrop).
+
+Runs k-token dissemination on the same dynamic networks in the two
+bandwidth regimes the related work distinguishes:
+
+* unlimited bandwidth (the paper's model): flooding completes within
+  the dynamic diameter ``D`` -- information transport is cheap, so the
+  paper's counting bound isolates the *anonymity* cost;
+* token forwarding (one token per message): the known-``n`` algorithm
+  needs ``n·k`` rounds -- transport itself becomes the bottleneck,
+  which is the regime of the ``Ω(n log k)`` lower bounds cited in
+  Section 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.registry import ExperimentResult
+from repro.core.dissemination import (
+    disseminate_by_flooding,
+    disseminate_by_token_forwarding,
+)
+from repro.networks.generators.random_dynamic import RandomConnectedAdversary
+from repro.networks.properties import dynamic_diameter
+
+__all__ = ["token_dissemination"]
+
+
+def token_dissemination(
+    *,
+    sizes: tuple[int, ...] = (8, 16, 32),
+    tokens_per_size: tuple[int, ...] = (2, 4),
+    seed: int = 3,
+) -> ExperimentResult:
+    """Flooding vs token forwarding over (n, k) combinations."""
+    rows = []
+    checks: dict[str, bool] = {}
+    for n in sizes:
+        network = RandomConnectedAdversary(
+            n, seed=seed, extra_edge_p=0.05
+        ).as_dynamic_graph()
+        diameter = dynamic_diameter(network, start_rounds=2)
+        for k in tokens_per_size:
+            rng = np.random.default_rng([seed, n, k])
+            holders = rng.choice(n, size=k, replace=False)
+            assignment = {int(node): token for token, node in enumerate(holders)}
+            flooding = disseminate_by_flooding(network, assignment)
+            forwarding = disseminate_by_token_forwarding(network, assignment)
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "dynamic diameter D": diameter,
+                    "flooding rounds": flooding.rounds,
+                    "forwarding rounds": forwarding.rounds,
+                    "forwarding bound n*k": n * k,
+                    "flooding msgs": flooding.messages,
+                    "forwarding msgs": forwarding.messages,
+                }
+            )
+            key = f"n{n}_k{k}"
+            checks[f"{key}_flooding_within_D"] = flooding.rounds <= diameter
+            checks[f"{key}_forwarding_is_nk"] = forwarding.rounds == n * k
+            checks[f"{key}_regime_gap"] = flooding.rounds < forwarding.rounds
+    return ExperimentResult(
+        experiment="tab-token-dissemination",
+        title="Extension: k-token dissemination, unlimited bandwidth vs "
+        "token forwarding",
+        headers=[
+            "n",
+            "k",
+            "dynamic diameter D",
+            "flooding rounds",
+            "forwarding rounds",
+            "forwarding bound n*k",
+            "flooding msgs",
+            "forwarding msgs",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "unlimited bandwidth makes dissemination a D-round problem -- "
+            "the paper's counting bound is therefore about anonymity, not "
+            "transport",
+            "token forwarding pays n*k rounds (known-n commit-the-minimum "
+            "algorithm), the regime of the Omega(n log k) bounds",
+        ],
+    )

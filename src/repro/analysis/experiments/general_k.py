@@ -1,0 +1,135 @@
+"""Extension experiment: the general-k system (beyond the paper's k=2).
+
+The paper analyses ``M(DBL)_2`` densely and lifts the bound to every
+``k`` via inclusion.  This experiment inspects the general-k structure
+directly:
+
+* the kernel of ``M_r^{(k)}`` is huge for ``k >= 3`` (many directions
+  to hide along), yet
+* the *cheapest* unit size-shifting kernel direction -- the quantity
+  that controls the ambiguity horizon -- has exactly the same negative
+  mass ``(3^{r+1}-1)/2`` as for ``k = 2`` (computed by exact integer
+  programming), i.e. richer label alphabets do **not** let the
+  adversary stay ambiguous longer;
+* embedding the k=2 twins into ``k = 3`` keeps them indistinguishable
+  (checked with the exact general-k set solver), and the general-k
+  optimal counter still counts random ``k = 3`` instances correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.registry import ExperimentResult
+from repro.core.lowerbound.bounds import ambiguity_horizon, min_sum_negative
+from repro.core.lowerbound.general import (
+    embedded_k2_kernel,
+    general_matrix,
+    general_n_columns,
+    general_n_rows,
+    general_nullity,
+    min_negative_mass,
+    product_kernel_vector,
+)
+from repro.core.lowerbound.pairs import twin_multigraphs
+from repro.core.solver_general import count_mdblk_abstract, feasible_sizes_general
+from repro.networks.multigraph import DynamicMultigraph
+
+__all__ = ["general_k_structure"]
+
+
+def general_k_structure(
+    *,
+    ks: tuple[int, ...] = (2, 3),
+    max_round: int = 1,
+    twin_n: int = 4,
+    random_trials: int = 5,
+) -> ExperimentResult:
+    """Kernel structure and ambiguity cost of ``M_r^{(k)}`` for small k.
+
+    Args:
+        ks: Label alphabet sizes to tabulate.
+        max_round: Largest round (dense matrices grow as
+            ``(2^k - 1)^{2r}``; the MILP dominates the cost).
+        twin_n: Size for the embedded-twin ambiguity check.
+        random_trials: Random k=3 instances counted for correctness.
+    """
+    rows = []
+    checks: dict[str, bool] = {}
+    for k in ks:
+        for r in range(max_round + 1):
+            matrix = general_matrix(k, r)
+            nullity = general_nullity(k, r)
+            product_in_kernel = not np.any(matrix @ product_kernel_vector(k, r))
+            embedded_in_kernel = not np.any(matrix @ embedded_k2_kernel(k, r))
+            cheapest = min_negative_mass(k, r)
+            rows.append(
+                {
+                    "k": k,
+                    "r": r,
+                    "columns": general_n_columns(k, r),
+                    "rows": general_n_rows(k, r),
+                    "kernel dim": nullity,
+                    "min negative mass": cheapest,
+                    "k=2 closed form": min_sum_negative(r),
+                }
+            )
+            key = f"k{k}_r{r}"
+            checks[f"{key}_product_vector_in_kernel"] = product_in_kernel
+            checks[f"{key}_embedded_k2_in_kernel"] = embedded_in_kernel
+            checks[f"{key}_min_mass_matches_k2"] = cheapest == min_sum_negative(r)
+
+    # Embedded twins stay ambiguous in the richer alphabet.
+    horizon = ambiguity_horizon(twin_n)
+    smaller, larger = twin_multigraphs(horizon, twin_n)
+    lifted = []
+    for twin in (smaller, larger):
+        lifted.append(
+            DynamicMultigraph(
+                3,
+                [
+                    [twin.labels(node, r) for r in range(horizon + 1)]
+                    for node in range(twin.n)
+                ],
+            )
+        )
+    sizes = feasible_sizes_general(lifted[0].observations(horizon + 1))
+    checks["embedded_twins_equal_in_k3"] = (
+        lifted[0].observations(horizon + 1) == lifted[1].observations(horizon + 1)
+    )
+    checks["embedded_twins_both_sizes_feasible"] = (
+        twin_n in sizes and twin_n + 1 in sizes
+    )
+
+    # The general-k optimal counter is exact on random k=3 instances.
+    all_correct = True
+    for trial in range(random_trials):
+        rng = np.random.default_rng([13, trial])
+        n = int(rng.integers(1, 8))
+        instance = DynamicMultigraph.random(3, n, 8, rng)
+        all_correct &= count_mdblk_abstract(instance).count == n
+    checks["k3_optimal_counter_exact_on_random"] = all_correct
+
+    return ExperimentResult(
+        experiment="tab-general-k",
+        title="Extension: M(DBL)_k structure for k > 2 (inclusion made concrete)",
+        headers=[
+            "k",
+            "r",
+            "columns",
+            "rows",
+            "kernel dim",
+            "min negative mass",
+            "k=2 closed form",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "min negative mass = exact MILP optimum over integer kernel "
+            "vectors with sum 1: the smallest network size at which sizes "
+            "n and n+1 can be confused at round r",
+            "for every k tested it equals the k=2 closed form "
+            "(3^(r+1)-1)/2: larger label alphabets do not extend the "
+            "ambiguity horizon",
+        ],
+    )

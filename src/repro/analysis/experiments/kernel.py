@@ -1,0 +1,96 @@
+"""Experiment: the matrix/kernel structure table (Lemmas 2-4).
+
+For each round ``r`` the table reports the shape of ``M_r``, the exactly
+certified kernel dimension, and the kernel sum identities -- comparing
+every computed quantity against its closed form from the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.registry import ExperimentResult
+from repro.core.lowerbound.kernel import (
+    closed_form_kernel,
+    nullspace_dimension,
+    recursive_kernel,
+    sum_negative,
+    sum_positive,
+    verify_in_kernel,
+)
+from repro.core.lowerbound.matrices import n_columns, n_rows
+
+__all__ = ["kernel_structure"]
+
+
+def kernel_structure(*, max_round: int = 5, closed_form_rounds: int = 10) -> ExperimentResult:
+    """Lemmas 2-4 over rounds ``0..max_round`` (dense) and beyond (closed form).
+
+    Args:
+        max_round: Largest round at which the dense ``M_r`` is built and
+            its nullity certified exactly (cost grows as ``9^r``; 5 runs
+            in under a second, 6 takes a few seconds).
+        closed_form_rounds: Additional rounds for which only the
+            closed-form columns are tabulated.
+    """
+    rows = []
+    checks: dict[str, bool] = {}
+    for r in range(max_round + 1):
+        kernel = closed_form_kernel(r)
+        nullity = nullspace_dimension(r)
+        in_kernel = verify_in_kernel(r)
+        recursion_ok = bool(np.array_equal(kernel, recursive_kernel(r)))
+        pos = int(kernel[kernel > 0].sum())
+        neg = int(-kernel[kernel < 0].sum())
+        rows.append(
+            {
+                "r": r,
+                "columns 3^(r+1)": n_columns(r),
+                "rows 3^(r+1)-1": n_rows(r),
+                "nullity": nullity,
+                "sum+ k_r": pos,
+                "sum- k_r": neg,
+                "sum k_r": pos - neg,
+                "exact": "dense",
+            }
+        )
+        checks[f"r{r}_nullity_is_1"] = nullity == 1
+        checks[f"r{r}_Mk_is_zero"] = in_kernel
+        checks[f"r{r}_recursion_matches_closed_form"] = recursion_ok
+        checks[f"r{r}_sum_pos_closed_form"] = pos == sum_positive(r)
+        checks[f"r{r}_sum_neg_closed_form"] = neg == sum_negative(r)
+        checks[f"r{r}_sum_is_1"] = pos - neg == 1
+    for r in range(max_round + 1, max_round + 1 + closed_form_rounds):
+        rows.append(
+            {
+                "r": r,
+                "columns 3^(r+1)": n_columns(r),
+                "rows 3^(r+1)-1": n_rows(r),
+                "nullity": 1,
+                "sum+ k_r": sum_positive(r),
+                "sum- k_r": sum_negative(r),
+                "sum k_r": 1,
+                "exact": "closed-form",
+            }
+        )
+    return ExperimentResult(
+        experiment="tab-kernel-structure",
+        title="Lemmas 2-4: structure of M_r and its kernel k_r",
+        headers=[
+            "r",
+            "columns 3^(r+1)",
+            "rows 3^(r+1)-1",
+            "nullity",
+            "sum+ k_r",
+            "sum- k_r",
+            "sum k_r",
+            "exact",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "nullity certified by exact modular full-row-rank + rank-nullity",
+            "sum- k_r = (3^(r+1)-1)/2 is the minimum network size keeping "
+            "round r ambiguous (Lemma 5 precondition)",
+        ],
+    )

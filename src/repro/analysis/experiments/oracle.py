@@ -1,0 +1,106 @@
+"""Experiments: the degree-oracle gap and the ``G(PD)_1`` observation.
+
+The paper's Discussion shows how sensitive the counting cost is to what
+nodes know about the dynamic graph: a local degree detector collapses
+restricted ``G(PD)_2`` counting from ``Ω(log |V|)`` to ``O(1)`` rounds.
+The ``G(PD)_1`` experiment covers the other boundary case from the
+introduction: stars are counted in a single round regardless of
+anonymity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import ExperimentResult
+from repro.adversaries.worst_case import (
+    max_ambiguity_multigraph,
+    worst_case_pd2_network,
+)
+from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
+from repro.core.counting.optimal import count_mdbl2_abstract
+from repro.core.counting.star import count_star
+from repro.core.lowerbound.bounds import rounds_to_count
+
+__all__ = ["oracle_gap", "star_pd1"]
+
+
+def oracle_gap(
+    *, sizes: tuple[int, ...] = (4, 13, 40, 121, 364)
+) -> ExperimentResult:
+    """Discussion: degree oracle ``O(1)`` vs anonymous ``Ω(log n)``.
+
+    Runs both algorithms on the *same* worst-case ``G(PD)_2`` dynamics:
+    the degree-oracle protocol (through the real engine, exact fraction
+    arithmetic) finishes in 3 rounds for every size, while the anonymous
+    optimal counter pays the full logarithmic cost.
+    """
+    rows = []
+    checks: dict[str, bool] = {}
+    for n in sizes:
+        network, layout = worst_case_pd2_network(n)
+        oracle_outcome = count_pd2_with_degree_oracle(network)
+        anonymous_outcome = count_mdbl2_abstract(max_ambiguity_multigraph(n))
+        rows.append(
+            {
+                "n outer": n,
+                "|V|": layout.n,
+                "oracle rounds": oracle_outcome.rounds,
+                "oracle count": oracle_outcome.count,
+                "anonymous rounds": anonymous_outcome.rounds,
+                "theory log-bound": rounds_to_count(n),
+            }
+        )
+        key = f"n{n}"
+        checks[f"{key}_oracle_exact"] = oracle_outcome.count == layout.n
+        checks[f"{key}_oracle_constant_rounds"] = oracle_outcome.rounds == 3
+        checks[f"{key}_anonymous_pays_log"] = (
+            anonymous_outcome.rounds == rounds_to_count(n)
+        )
+    checks["gap_grows_with_n"] = (
+        rows[-1]["anonymous rounds"] - rows[-1]["oracle rounds"]
+        > rows[0]["anonymous rounds"] - rows[0]["oracle rounds"]
+    )
+    return ExperimentResult(
+        experiment="tab-oracle-gap",
+        title="Discussion: degree-oracle O(1) vs anonymous Omega(log n)",
+        headers=[
+            "n outer",
+            "|V|",
+            "oracle rounds",
+            "oracle count",
+            "anonymous rounds",
+            "theory log-bound",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "both algorithms face the same worst-case G(PD)_2 dynamics; "
+            "only the oracle knowledge differs",
+        ],
+    )
+
+
+def star_pd1(
+    *, sizes: tuple[int, ...] = (2, 5, 17, 65, 257, 1025)
+) -> ExperimentResult:
+    """Introduction: ``G(PD)_1`` stars are counted in exactly one round."""
+    rows = []
+    checks: dict[str, bool] = {}
+    for n in sizes:
+        outcome = count_star(n)
+        rows.append(
+            {
+                "|V|": n,
+                "count": outcome.count,
+                "rounds": outcome.rounds,
+            }
+        )
+        checks[f"n{n}_exact_in_one_round"] = (
+            outcome.count == n and outcome.rounds == 1
+        )
+    return ExperimentResult(
+        experiment="tab-star-pd1",
+        title="G(PD)_1 stars: exact count in one round for every size",
+        headers=["|V|", "count", "rounds"],
+        rows=rows,
+        checks=checks,
+    )

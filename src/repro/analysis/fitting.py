@@ -1,0 +1,66 @@
+"""Least-squares fits of logarithmic round-complexity curves.
+
+Theorem 2 predicts the counting time grows as ``Θ(log |V|)`` with a
+worst-case adversary.  The headline experiment fits the measured rounds
+to ``a + b·log_3 n`` and reports the coefficients and the coefficient of
+determination; the paper's claim corresponds to ``b ≈ 1`` (base-3 log)
+with ``R²`` near 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["LogFit", "fit_log3"]
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """A fitted curve ``rounds ≈ intercept + slope·log_3 n``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Evaluate the fitted curve at size ``n``."""
+        return self.intercept + self.slope * math.log(n, 3)
+
+    def __str__(self) -> str:
+        return (
+            f"rounds ≈ {self.intercept:.3f} + {self.slope:.3f}·log3(n)  "
+            f"(R² = {self.r_squared:.4f})"
+        )
+
+
+def fit_log3(sizes: Sequence[int], rounds: Sequence[float]) -> LogFit:
+    """Fit ``rounds = a + b·log_3(sizes)`` by least squares.
+
+    Args:
+        sizes: Network sizes (all positive); at least two distinct.
+        rounds: Measured rounds, same length as ``sizes``.
+
+    Returns:
+        The :class:`LogFit`; ``r_squared`` is 1.0 for a perfect fit and
+        is reported as 1.0 when the data has zero variance.
+    """
+    if len(sizes) != len(rounds):
+        raise ValueError("sizes and rounds must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two data points")
+    if any(size < 1 for size in sizes):
+        raise ValueError("sizes must be positive")
+    x = np.log(np.asarray(sizes, dtype=float)) / np.log(3.0)
+    y = np.asarray(rounds, dtype=float)
+    if np.allclose(x, x[0]):
+        raise ValueError("need at least two distinct sizes")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = intercept + slope * x
+    total = float(np.sum((y - y.mean()) ** 2))
+    residual = float(np.sum((y - predicted) ** 2))
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return LogFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)

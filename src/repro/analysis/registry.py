@@ -1,0 +1,145 @@
+"""The experiment registry: every DESIGN.md experiment, runnable by name.
+
+Each experiment is a function returning an :class:`ExperimentResult`:
+a table of rows plus a dictionary of named boolean *checks* -- the
+mechanically verified claims ("leader states equal through round r",
+"measured rounds == theoretical bound", ...).  The CLI renders the
+table; the benchmark suite asserts every check.
+
+Implementations live in :mod:`repro.analysis.experiments`; this module
+only wires names to functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes:
+        experiment: The registry id (e.g. ``"tab-kernel-structure"``).
+        title: Human-readable title including the paper artifact.
+        headers: Column order of the table.
+        rows: The table rows.
+        checks: Named boolean verification outcomes; an experiment
+            "passes" when all are true.
+        notes: Free-form extra findings (fit summaries etc.).
+    """
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[dict[str, Any]]
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every named check succeeded."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        """Names of the checks that failed."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """Render the full report (title, table, checks, notes)."""
+        lines = [render_table(self.rows, self.headers, title=self.title)]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        if self.checks:
+            lines.append("")
+            lines.extend(
+                f"check: {name}: {'PASS' if ok else 'FAIL'}"
+                for name, ok in self.checks.items()
+            )
+        return "\n".join(lines)
+
+
+def _build_registry() -> dict[str, Callable[..., ExperimentResult]]:
+    # Imported lazily so `import repro` stays fast and dependency-light.
+    from repro.analysis.experiments import (
+        adversaries_ablation,
+        bandwidth,
+        baselines,
+        corollary,
+        dissemination,
+        dynamics,
+        figures,
+        general_k,
+        kernel,
+        lower_bound,
+        naming,
+        oracle,
+        randomness,
+    )
+
+    return {
+        "fig1-pd2-example": figures.fig1_pd2_example,
+        "fig2-transformation": figures.fig2_transformation,
+        "fig3-indistinguishable-r0": figures.fig3_indistinguishable_r0,
+        "fig4-indistinguishable-r1": figures.fig4_indistinguishable_r1,
+        "tab-kernel-structure": kernel.kernel_structure,
+        "tab-ambiguity-horizon": lower_bound.ambiguity_horizon_table,
+        "fig-counting-rounds-vs-n": lower_bound.counting_rounds_vs_n,
+        "tab-corollary1-diameter": corollary.corollary1_table,
+        "tab-oracle-gap": oracle.oracle_gap,
+        "tab-star-pd1": oracle.star_pd1,
+        "tab-baselines": baselines.baselines_table,
+        "tab-general-k": general_k.general_k_structure,
+        "tab-adaptive-adversary": adversaries_ablation.adaptive_adversary_ablation,
+        "tab-adversarial-randomness": randomness.adversarial_randomness,
+        "tab-naming-vs-counting": naming.naming_vs_counting,
+        "tab-dynamics-families": dynamics.dynamics_families,
+        "tab-bandwidth": bandwidth.bandwidth_table,
+        "tab-token-dissemination": dissemination.token_dissemination,
+    }
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] | None = None
+
+
+def _registry() -> dict[str, Callable[..., ExperimentResult]]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def available_experiments() -> list[str]:
+    """All experiment ids, in DESIGN.md order."""
+    return list(_registry())
+
+
+def get_experiment(experiment: str) -> Callable[..., ExperimentResult]:
+    """The experiment function for an id.
+
+    Raises:
+        KeyError: Unknown experiment id (message lists valid ids).
+    """
+    registry = _registry()
+    if experiment not in registry:
+        raise KeyError(
+            f"unknown experiment {experiment!r}; available: "
+            f"{', '.join(registry)}"
+        )
+    return registry[experiment]
+
+
+def run_experiment(experiment: str, **params: Any) -> ExperimentResult:
+    """Run an experiment by id with optional parameter overrides."""
+    return get_experiment(experiment)(**params)

@@ -1,0 +1,68 @@
+"""Markdown reports from experiment results.
+
+Turns :class:`repro.analysis.registry.ExperimentResult` objects into the
+Markdown used in ``EXPERIMENTS.md`` (fenced table, notes, check
+summary), and can regenerate a full report over every registered
+experiment -- the CLI exposes this as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.registry import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+from repro.analysis.tables import render_table
+
+__all__ = ["result_to_markdown", "full_report"]
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one experiment result as a Markdown section."""
+    lines = [f"## {result.experiment}", "", f"**{result.title}**", ""]
+    lines.append("```")
+    lines.append(render_table(result.rows, result.headers))
+    lines.append("```")
+    if result.notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in result.notes)
+    lines.append("")
+    passed = sum(1 for ok in result.checks.values() if ok)
+    total = len(result.checks)
+    verdict = "PASS" if result.passed else "FAIL"
+    lines.append(f"**Checks: {passed}/{total} — {verdict}**")
+    if not result.passed:
+        lines.append("")
+        lines.extend(f"- FAILED: {name}" for name in result.failed_checks())
+    lines.append("")
+    return "\n".join(lines)
+
+
+def full_report(
+    *,
+    experiments: list[str] | None = None,
+    title: str = "Experiment report",
+) -> str:
+    """Run experiments (default: all) and render one Markdown document."""
+    names = experiments if experiments is not None else available_experiments()
+    sections = [f"# {title}", ""]
+    all_passed = True
+    for name in names:
+        result = run_experiment(name)
+        sections.append(result_to_markdown(result))
+        all_passed &= result.passed
+    sections.append(
+        "---\n\nOverall: "
+        + ("all experiments passed." if all_passed else "FAILURES present.")
+    )
+    return "\n".join(sections)
+
+
+def write_report(path: str | Path, **kwargs) -> Path:
+    """Run :func:`full_report` and write it to ``path``."""
+    path = Path(path)
+    path.write_text(full_report(**kwargs) + "\n")
+    return path

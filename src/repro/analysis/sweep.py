@@ -1,0 +1,28 @@
+"""Small sweep helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+__all__ = ["log_spaced_sizes"]
+
+
+def log_spaced_sizes(
+    lo: int, hi: int, *, per_decade: int = 6
+) -> list[int]:
+    """Roughly log-spaced integer sizes in ``[lo, hi]``, deduplicated.
+
+    Used for the rounds-vs-n sweeps, where sizes should cover several
+    powers of 3 without wasting work on near-duplicates.
+    """
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    sizes: list[int] = []
+    value = float(lo)
+    ratio = 10.0 ** (1.0 / per_decade)
+    while value <= hi:
+        size = round(value)
+        if not sizes or size > sizes[-1]:
+            sizes.append(size)
+        value *= ratio
+    if sizes[-1] != hi:
+        sizes.append(hi)
+    return sizes

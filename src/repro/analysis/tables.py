@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment produces rows of dictionaries; this module renders them
+as aligned monospace tables -- the format used by the CLI, the benchmark
+output, and the EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    headers: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned text table.
+
+    Args:
+        rows: The data; missing keys render as empty cells.
+        headers: Column order; defaults to the keys of the first row.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    if headers is None:
+        headers = list(rows[0].keys()) if rows else []
+    cells = [[format_value(row.get(header, "")) for header in headers] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

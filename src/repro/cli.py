@@ -1,0 +1,101 @@
+"""Command-line interface: run any registered experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run tab-kernel-structure
+    python -m repro run fig-counting-rounds-vs-n --param max_n=200
+    python -m repro all
+    python -m repro report out/report.md
+
+Parameters given as ``--param name=value`` are parsed as Python literals
+and forwarded to the experiment function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any
+
+from repro.analysis.registry import available_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def _parse_params(params: list[str]) -> dict[str, Any]:
+    parsed: dict[str, Any] = {}
+    for param in params:
+        name, sep, raw = param.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects name=value, got {param!r}")
+        try:
+            parsed[name] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            parsed[name] = raw
+    return parsed
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'Investigating the Cost of "
+            "Anonymity on Dynamic Networks' (PODC 2015)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see `repro list`)")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override an experiment parameter (repeatable)",
+    )
+    commands.add_parser("all", help="run every experiment")
+    report = commands.add_parser(
+        "report", help="run every experiment and write a Markdown report"
+    )
+    report.add_argument("path", help="output file (e.g. report.md)")
+    report.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        help="restrict to specific experiment ids (repeatable)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment in available_experiments():
+            print(experiment)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment, **_parse_params(args.param))
+        print(result.render())
+        return 0 if result.passed else 1
+    if args.command == "report":
+        from repro.analysis.reporting import write_report
+
+        path = write_report(args.path, experiments=args.experiment)
+        print(f"report written to {path}")
+        return 0
+    # command == "all"
+    all_passed = True
+    for experiment in available_experiments():
+        result = run_experiment(experiment)
+        print(result.render())
+        print()
+        all_passed &= result.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

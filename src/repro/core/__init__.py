@@ -1,0 +1,39 @@
+"""Core contribution of the paper: states, the equation solver, bounds.
+
+* :mod:`repro.core.states` -- node state histories ``S(v, r)`` and leader
+  observation multisets ``C(v_l, r)`` (Definitions 5-7).
+* :mod:`repro.core.solver` -- the leader's feasibility problem
+  ``m_r = M_r s, s >= 0`` solved exactly on the observation prefix tree.
+* :mod:`repro.core.lowerbound` -- explicit ``M_r`` matrices, integer
+  kernels, indistinguishable-pair construction, and the closed-form
+  bounds (Lemmas 2-5, Theorems 1-2).
+* :mod:`repro.core.counting` -- executable counting algorithms (optimal
+  anonymous counter, star counter, degree-oracle counter, baselines).
+"""
+
+from repro.core.solver import SizeInterval, feasible_size_interval
+from repro.core.states import (
+    History,
+    LabelSet,
+    ObservationSequence,
+    all_histories,
+    all_label_sets,
+    history_from_index,
+    history_index,
+    label_set,
+    leader_observation,
+)
+
+__all__ = [
+    "History",
+    "LabelSet",
+    "ObservationSequence",
+    "SizeInterval",
+    "all_histories",
+    "all_label_sets",
+    "feasible_size_interval",
+    "history_from_index",
+    "history_index",
+    "label_set",
+    "leader_observation",
+]

@@ -1,0 +1,43 @@
+"""Executable counting algorithms and baselines.
+
+* :mod:`repro.core.counting.optimal` -- the information-theoretically
+  optimal leader protocol for anonymous ``M(DBL)_2`` networks, built on
+  the exact interval solver.  Its termination round *is* the measured
+  lower bound.
+* :mod:`repro.core.counting.star` -- one-round counting in ``G(PD)_1``.
+* :mod:`repro.core.counting.degree_oracle` -- the ``O(1)``-round
+  fractional-mass algorithm for restricted ``G(PD)_2`` networks with a
+  local degree detector (the paper's Discussion).
+* :mod:`repro.core.counting.token_ids` -- counting by full token
+  dissemination in networks *with* identifiers (the ``O(D)`` baseline).
+* :mod:`repro.core.counting.gossip` -- Kempe-style push-sum size
+  *estimation* under fair adversaries (anonymous, approximate).
+* :mod:`repro.core.counting.flooding` -- protocol-level flooding, used
+  to measure dissemination time / the dynamic diameter through the real
+  engine.
+"""
+
+from repro.core.counting.base import CountingOutcome
+from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
+from repro.core.counting.flooding import flood_time_via_protocol
+from repro.core.counting.gossip import gossip_size_estimates
+from repro.core.counting.optimal import (
+    OptimalLeaderProcess,
+    count_mdbl2,
+    count_mdbl2_abstract,
+)
+from repro.core.counting.star import count_star, make_star_processes
+from repro.core.counting.token_ids import count_with_ids
+
+__all__ = [
+    "CountingOutcome",
+    "OptimalLeaderProcess",
+    "count_mdbl2",
+    "count_mdbl2_abstract",
+    "count_pd2_with_degree_oracle",
+    "count_star",
+    "count_with_ids",
+    "flood_time_via_protocol",
+    "gossip_size_estimates",
+    "make_star_processes",
+]

@@ -1,0 +1,43 @@
+"""Common result type for counting algorithms.
+
+Every counting algorithm in :mod:`repro.core.counting`, whatever model
+it runs in, reports a :class:`CountingOutcome`: the count it produced,
+the round at which the leader committed to it, and how many rounds were
+executed in total.  Keeping one result shape lets the benchmark harness
+sweep heterogeneous algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CountingOutcome"]
+
+
+@dataclass(frozen=True)
+class CountingOutcome:
+    """Result of one counting execution.
+
+    Attributes:
+        count: The size the leader output.
+        output_round: Round index (0-based) at whose receive phase the
+            leader committed to the count.
+        rounds: Total rounds executed (``output_round + 1`` for
+            algorithms that stop immediately on output).
+        algorithm: Short name of the algorithm, for reports.
+        detail: Free-form algorithm-specific extras (e.g. the interval
+            width per round for the optimal counter).
+    """
+
+    count: int
+    output_round: int
+    rounds: int
+    algorithm: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("counts are non-negative")
+        if self.rounds < self.output_round + 1:
+            raise ValueError("rounds must cover the output round")

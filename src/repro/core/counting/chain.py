@@ -1,0 +1,212 @@
+"""Counting through a chain: the Corollary 1 protocol.
+
+Corollary 1 composes the ``G(PD)_2`` core with a static chain of relay
+nodes so that the network's dynamic diameter ``D`` can be made any
+constant while the anonymity ambiguity of the core is preserved; the
+counting cost becomes ``D + Ω(log |V|)``.
+
+The protocol here is the natural optimal algorithm for that topology,
+executed on the real engine:
+
+* **outer nodes** (the anonymous core) broadcast their state history and
+  extend it by reading which hubs' beacons they hear;
+* **hubs** (the paper's ``v_1, v_2``; they carry identifiers, which is
+  legitimate -- Lemma 1's lower bound holds even when the middle layer
+  has IDs) broadcast a beacon, collect ``(hub, state)`` multisets from
+  adjacent outer nodes, and emit each round's multiset as a token;
+* **chain nodes** forward each newly heard token one hop per round
+  (equivalent to flooding on a static path, with bounded traffic);
+* the **leader** reassembles the per-round leader observations from the
+  two hubs' tokens -- each arrives ``chain_length + 1`` rounds late --
+  and runs the exact interval solver, outputting as soon as the feasible
+  size is unique.
+
+The measured termination round is ``rounds_to_count(n) + chain_length
++ 1``: exactly the bare core's optimal cost plus the relay delay.  The
+``+ 1`` relative to the bare labeled model is the hub hop -- in
+``M(DBL)_2`` the leader observes edge labels directly, here the hubs'
+round-``t`` observation can only be broadcast at round ``t + 1``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.counting.base import CountingOutcome
+from repro.core.solver import feasible_size_interval
+from repro.core.states import ObservationSequence
+from repro.networks.generators.chains import chain_pd2_network
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.engine import EngineConfig, SynchronousEngine
+from repro.simulation.errors import TerminationError
+from repro.simulation.messages import Inbox
+from repro.simulation.node import Process
+
+__all__ = [
+    "ChainLeaderProcess",
+    "ChainRelayProcess",
+    "HubProcess",
+    "ChainOuterProcess",
+    "count_chain_pd2",
+]
+
+_HUB_BEACON = "hub"
+_OBS = "obs"
+
+
+def _encode_multiset(counter: Counter) -> tuple:
+    """Canonical hashable encoding of a multiset of states."""
+    return tuple(
+        sorted(
+            counter.items(),
+            key=lambda item: (len(item[0]), repr(sorted(map(sorted, item[0])))),
+        )
+    )
+
+
+class ChainOuterProcess(Process):
+    """Anonymous core node: broadcast the state, learn hubs from beacons."""
+
+    def __init__(self) -> None:
+        self.state: tuple = ()
+
+    def compose(self, round_no: int) -> tuple:
+        return ("state", self.state)
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        labels = frozenset(
+            payload[1] for payload in inbox if payload[0] == _HUB_BEACON
+        )
+        self.state = self.state + (labels,)
+
+
+class HubProcess(Process):
+    """Hub ``v_j``: beacon to the core, emit each observation token once.
+
+    A fresh observation token is broadcast exactly one round after it is
+    formed; the static chain forwards each token one hop per round
+    (:class:`ChainRelayProcess`), so the per-round traffic stays bounded
+    instead of accumulating -- on a static path the delivery schedule is
+    identical to full flooding.
+    """
+
+    def __init__(self, hub_id: int) -> None:
+        self.hub_id = hub_id
+        self._pending: tuple | None = None
+
+    def compose(self, round_no: int) -> tuple:
+        fresh = (
+            frozenset({self._pending})
+            if self._pending is not None
+            else frozenset()
+        )
+        return (_HUB_BEACON, self.hub_id, fresh)
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        states = Counter(
+            payload[1] for payload in inbox if payload[0] == "state"
+        )
+        self._pending = (_OBS, round_no, self.hub_id, _encode_multiset(states))
+
+
+class ChainRelayProcess(Process):
+    """Static chain node: forward newly heard tokens one hop per round."""
+
+    def __init__(self) -> None:
+        self._seen: set[tuple] = set()
+        self._fresh: set[tuple] = set()
+
+    def compose(self, round_no: int) -> tuple:
+        return (_HUB_BEACON, 0, frozenset(self._fresh))
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        incoming: set[tuple] = set()
+        for payload in inbox:
+            if payload[0] == _HUB_BEACON:
+                incoming |= payload[2]
+        self._fresh = incoming - self._seen
+        self._seen |= incoming
+
+
+class ChainLeaderProcess(Process):
+    """Reassemble delayed hub observations; solve; output when unique."""
+
+    def __init__(self) -> None:
+        self.observations = ObservationSequence(2)
+        self._by_round: dict[int, dict[int, Counter]] = {}
+        self._output = None
+        self.output_round: int | None = None
+
+    def compose(self, round_no: int) -> None:
+        return None
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        for payload in inbox:
+            if payload[0] != _HUB_BEACON:
+                continue
+            for token in payload[2]:
+                _kind, obs_round, hub_id, encoded = token
+                per_round = self._by_round.setdefault(obs_round, {})
+                per_round[hub_id] = Counter(dict(encoded))
+        self._absorb_complete_rounds()
+        if self._output is None and self.observations.rounds > 0:
+            interval = feasible_size_interval(self.observations)
+            if interval.is_unique:
+                self._output = interval.lo
+                self.output_round = round_no
+
+    def _absorb_complete_rounds(self) -> None:
+        while True:
+            next_round = self.observations.rounds
+            per_round = self._by_round.get(next_round)
+            if per_round is None or set(per_round) != {1, 2}:
+                return
+            observation: Counter = Counter()
+            for hub_id, states in per_round.items():
+                for state, count in states.items():
+                    observation[(hub_id, state)] += count
+            self.observations.append(observation)
+
+
+def count_chain_pd2(
+    multigraph: DynamicMultigraph,
+    chain_length: int,
+    *,
+    max_rounds: int = 256,
+) -> CountingOutcome:
+    """Count the core of a Corollary 1 network through the real engine.
+
+    Args:
+        multigraph: The ``M(DBL)_2`` schedule driving the core's
+            dynamics (e.g. a worst-case adversary schedule).
+        chain_length: Number of static relay nodes between the leader
+            and the hubs.
+        max_rounds: Engine round budget.
+
+    Returns:
+        The outcome; ``count`` is the number of anonymous core nodes
+        (``|W|``), matching the other ``M(DBL)_2`` counters.
+    """
+    network, layout = chain_pd2_network(multigraph, chain_length)
+    leader = ChainLeaderProcess()
+    processes: list[Process] = [leader]
+    processes.extend(ChainRelayProcess() for _ in layout.chain)
+    processes.append(HubProcess(1))
+    processes.append(HubProcess(2))
+    processes.extend(ChainOuterProcess() for _ in layout.outer)
+    engine = SynchronousEngine(
+        processes,
+        network,
+        leader=0,
+        config=EngineConfig(max_rounds=max_rounds),
+    )
+    result = engine.run()
+    if result.leader_output is None:
+        raise TerminationError("chain leader did not output")
+    return CountingOutcome(
+        count=result.leader_output,
+        output_round=result.rounds - 1,
+        rounds=result.rounds,
+        algorithm="chain-pd2-optimal",
+        detail={"chain_length": chain_length, "n_nodes": layout.n},
+    )

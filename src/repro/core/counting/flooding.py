@@ -1,0 +1,60 @@
+"""Protocol-level flooding: dissemination through the real engine.
+
+Flooding is the primitive behind the dynamic diameter definition
+(Section 3): "a node v floods message m by broadcasting it at each
+round, each process receiving a flooded message m starts, in its turn, a
+flooding of m".  This module runs that protocol through the actual
+message-passing engine; the graph-level computation of the same quantity
+lives in :func:`repro.networks.properties.flood_completion_time` and the
+test suite checks they always agree.
+"""
+
+from __future__ import annotations
+
+from repro.networks.dynamic_graph import DynamicGraph
+from repro.simulation.engine import EngineConfig, SynchronousEngine
+from repro.simulation.messages import Inbox
+from repro.simulation.node import Process
+
+__all__ = ["FloodProcess", "flood_time_via_protocol"]
+
+_FLOOD = "flood"
+
+
+class FloodProcess(Process):
+    """Re-broadcast the flood token once informed; output on receipt."""
+
+    def __init__(self, informed: bool = False) -> None:
+        self.informed = informed
+        self._output = True if informed else None
+
+    def compose(self, round_no: int) -> str | None:
+        return _FLOOD if self.informed else None
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        if not self.informed and _FLOOD in inbox:
+            self.informed = True
+            self._output = True
+
+
+def flood_time_via_protocol(
+    network: DynamicGraph,
+    source: int,
+    *,
+    max_rounds: int = 10_000,
+) -> int:
+    """Rounds for a flood from ``source`` to inform all nodes (engine run).
+
+    Matches the semantics of
+    :func:`repro.networks.properties.flood_completion_time` with
+    ``start_round = 0``: the returned value is the number of executed
+    rounds after which every process holds the token.
+    """
+    processes = [FloodProcess(index == source) for index in range(network.n)]
+    engine = SynchronousEngine(
+        processes,
+        network,
+        leader=None,
+        config=EngineConfig(max_rounds=max_rounds, stop_when="all"),
+    )
+    return engine.run().rounds

@@ -1,0 +1,90 @@
+"""One-round counting in ``G(PD)_1`` star networks.
+
+Graphs in ``G(PD)_1`` are stars with the leader at the centre at every
+round; "the leader is able to output the exact count in one round
+independently of the anonymity of the processes" (Section 1): every
+non-leader node broadcasts anything, the leader's round-0 inbox size is
+exactly ``|V| - 1``.
+"""
+
+from __future__ import annotations
+
+from repro.core.counting.base import CountingOutcome
+from repro.networks.dynamic_graph import DynamicGraph
+from repro.networks.generators.stars import star_network
+from repro.simulation.engine import EngineConfig, SynchronousEngine
+from repro.simulation.messages import Inbox
+from repro.simulation.node import Process
+
+__all__ = ["StarLeaderProcess", "StarMemberProcess", "make_star_processes", "count_star"]
+
+_PING = "ping"
+
+
+class StarLeaderProcess(Process):
+    """Leader at the star's centre: count the round-0 inbox."""
+
+    def __init__(self) -> None:
+        self._output = None
+
+    def compose(self, round_no: int) -> None:
+        return None
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        if self._output is None:
+            self._output = len(inbox) + 1
+
+
+class StarMemberProcess(Process):
+    """Anonymous spoke node: broadcast one ping."""
+
+    def compose(self, round_no: int) -> str:
+        return _PING
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        pass
+
+
+def make_star_processes(n: int, *, leader: int = 0) -> tuple[list[Process], int]:
+    """Build the ``n`` processes of the star protocol.
+
+    Returns ``(processes, leader_index)``, ready to hand to
+    :class:`repro.simulation.SynchronousEngine`.
+    """
+    if n < 2:
+        raise ValueError("a star needs at least 2 nodes")
+    processes: list[Process] = [
+        StarLeaderProcess() if index == leader else StarMemberProcess()
+        for index in range(n)
+    ]
+    return processes, leader
+
+
+def count_star(
+    n: int, *, network: DynamicGraph | None = None, leader: int = 0
+) -> CountingOutcome:
+    """Count a ``G(PD)_1`` network of ``n`` nodes (1 round, exact).
+
+    Args:
+        n: Number of nodes.
+        network: The star dynamic graph; generated if omitted (any
+            ``G(PD)_1`` graph *is* the star, so there is no other shape
+            to pass).
+        leader: The centre node's index.
+    """
+    if network is None:
+        network = star_network(n, leader=leader)
+    processes, leader_index = make_star_processes(n, leader=leader)
+    engine = SynchronousEngine(
+        processes,
+        network,
+        leader=leader_index,
+        config=EngineConfig(max_rounds=4),
+    )
+    result = engine.run()
+    return CountingOutcome(
+        count=result.leader_output,
+        output_round=result.rounds - 1,
+        rounds=result.rounds,
+        algorithm="star-one-round",
+    )

@@ -1,0 +1,214 @@
+"""k-token dissemination -- the related problem behind the bounds.
+
+Section 2 of the paper frames its contribution against *k-token
+dissemination* (Kuhn, Lynch & Oshman, STOC 2010): ``k`` tokens start at
+nodes of ``V`` and must reach every node.  Two regimes matter:
+
+* with **unlimited bandwidth** (the paper's model) dissemination is
+  trivial -- flooding completes in ``D`` rounds, which is exactly why
+  the paper's ``D + Ω(log |V|)`` counting bound is interesting: in this
+  model *information transport* is cheap and the log-cost is pure
+  anonymity;
+* with **one token per message** (the token-forwarding class for which
+  the ``Ω(n log k)`` / ``Ω(nk / log n)`` lower bounds are proved),
+  dissemination itself is expensive.  The classic upper bound with
+  known ``n`` is implemented here: repeat ``k`` times "everyone
+  broadcasts the smallest uncommitted token it knows, for ``n``
+  rounds, then commits it".  1-interval connectivity guarantees the
+  globally smallest uncommitted token reaches at least one new node per
+  round, so each phase completes and the total is ``n·k`` rounds.
+
+The ``tab-token-dissemination`` experiment runs both on the same
+dynamics and tabulates the regime gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.networks.dynamic_graph import DynamicGraph
+from repro.simulation.engine import EngineConfig, SynchronousEngine
+from repro.simulation.errors import ModelError
+from repro.simulation.messages import Inbox
+from repro.simulation.node import Process
+
+__all__ = [
+    "DisseminationResult",
+    "TokenFloodProcess",
+    "MinTokenForwardProcess",
+    "disseminate_by_flooding",
+    "disseminate_by_token_forwarding",
+]
+
+
+@dataclass(frozen=True)
+class DisseminationResult:
+    """Outcome of a dissemination run.
+
+    Attributes:
+        rounds: Executed rounds until every node held every token.
+        tokens: Number of distinct tokens disseminated.
+        messages: Total token-copies transmitted (bandwidth proxy).
+    """
+
+    rounds: int
+    tokens: int
+    messages: int
+
+
+def _validate_assignment(
+    network: DynamicGraph, assignment: dict[int, int]
+) -> set[int]:
+    if not assignment:
+        raise ModelError("need at least one token")
+    for node in assignment:
+        if not 0 <= node < network.n:
+            raise ModelError(f"token holder {node} outside the node set")
+    return set(assignment.values())
+
+
+class TokenFloodProcess(Process):
+    """Unlimited bandwidth: broadcast every known token every round."""
+
+    def __init__(self, initial: frozenset, total: int) -> None:
+        self.known = initial
+        self.total = total
+        self.sent = 0
+        self._output = None
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if len(self.known) == self.total and self._output is None:
+            self._output = True
+
+    def compose(self, round_no: int) -> frozenset:
+        self.sent += len(self.known)
+        return self.known
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        for payload in inbox:
+            self.known |= payload
+        self._check_done()
+
+
+def disseminate_by_flooding(
+    network: DynamicGraph,
+    assignment: dict[int, int],
+    *,
+    max_rounds: int = 10_000,
+) -> DisseminationResult:
+    """Disseminate by flooding (the paper's-model trivial algorithm).
+
+    Args:
+        network: A 1-interval connected dynamic graph.
+        assignment: ``node -> token`` initial placement (one token per
+            listed node; nodes may share a token value).
+
+    Returns:
+        The result; ``rounds`` is at most the dynamic diameter ``D``.
+    """
+    tokens = _validate_assignment(network, assignment)
+    processes = [
+        TokenFloodProcess(
+            frozenset({assignment[node]}) if node in assignment else frozenset(),
+            len(tokens),
+        )
+        for node in range(network.n)
+    ]
+    engine = SynchronousEngine(
+        processes,
+        network,
+        leader=None,
+        config=EngineConfig(max_rounds=max_rounds, stop_when="all"),
+    )
+    result = engine.run()
+    return DisseminationResult(
+        rounds=result.rounds,
+        tokens=len(tokens),
+        messages=sum(process.sent for process in processes),
+    )
+
+
+class MinTokenForwardProcess(Process):
+    """Token forwarding with known ``n``: one token per message.
+
+    Phase ``p`` spans rounds ``[p·n, (p+1)·n)``; throughout a phase the
+    process broadcasts the smallest *uncommitted* token it knows.  At a
+    phase boundary every process commits the smallest uncommitted token
+    it knows -- by the one-new-node-per-round argument that token is,
+    by then, common knowledge.  After ``k`` phases all tokens are
+    committed everywhere.
+    """
+
+    def __init__(self, initial: frozenset, n: int, total: int) -> None:
+        self.known: set[int] = set(initial)
+        self.committed: set[int] = set()
+        self.n = n
+        self.total = total
+        self.sent = 0
+        self._output = None
+
+    def _uncommitted_min(self) -> int | None:
+        open_tokens = self.known - self.committed
+        return min(open_tokens) if open_tokens else None
+
+    def compose(self, round_no: int) -> int | None:
+        token = self._uncommitted_min()
+        if token is not None:
+            self.sent += 1
+        return token
+
+    def deliver(self, round_no: int, inbox: Inbox) -> None:
+        for payload in inbox:
+            self.known.add(payload)
+        if (round_no + 1) % self.n == 0:
+            token = self._uncommitted_min()
+            if token is not None:
+                self.committed.add(token)
+            if len(self.committed) == self.total and self._output is None:
+                self._output = True
+
+
+def disseminate_by_token_forwarding(
+    network: DynamicGraph,
+    assignment: dict[int, int],
+) -> DisseminationResult:
+    """The known-``n`` token-forwarding algorithm (``n·k`` rounds).
+
+    Every message carries exactly one token, matching the
+    token-forwarding model of the ``Ω(n log k)`` lower bound.  The run
+    executes exactly ``n·k`` rounds and the test suite asserts every
+    node then knows (and has committed) every token.
+    """
+    tokens = _validate_assignment(network, assignment)
+    n, k = network.n, len(tokens)
+    processes = [
+        MinTokenForwardProcess(
+            frozenset({assignment[node]}) if node in assignment else frozenset(),
+            n,
+            k,
+        )
+        for node in range(network.n)
+    ]
+    engine = SynchronousEngine(
+        processes,
+        network,
+        leader=None,
+        config=EngineConfig(max_rounds=n * k, stop_when="budget"),
+    )
+    result = engine.run()
+    incomplete = [
+        index
+        for index, process in enumerate(processes)
+        if len(process.known) != k or len(process.committed) != k
+    ]
+    if incomplete:
+        raise ModelError(
+            f"token forwarding incomplete at nodes {incomplete[:5]} after "
+            f"{n * k} rounds -- connectivity assumption violated?"
+        )
+    return DisseminationResult(
+        rounds=result.rounds,
+        tokens=k,
+        messages=sum(process.sent for process in processes),
+    )

@@ -1,0 +1,74 @@
+"""Lower-bound machinery: matrices, kernels, twin configurations, bounds.
+
+This package makes Section 4.2 of the paper executable:
+
+* :mod:`repro.core.lowerbound.matrices` -- the explicit coefficient
+  matrices ``M_r`` with the paper's lexicographic ordering (equations (2)
+  and (5)).
+* :mod:`repro.core.lowerbound.kernel` -- kernel vectors ``k_r``: the
+  closed-form recursion of Lemma 3, the sum identities of Lemma 4, and
+  exact rank verification of Lemma 2.
+* :mod:`repro.core.lowerbound.pairs` -- indistinguishable twin
+  configurations (Lemma 5, Figures 3 and 4) as runnable
+  :class:`repro.networks.DynamicMultigraph` instances.
+* :mod:`repro.core.lowerbound.bounds` -- the closed-form round bounds of
+  Theorem 1 / Theorem 2 / Corollary 1.
+"""
+
+from repro.core.lowerbound.bounds import (
+    ambiguity_horizon,
+    corollary1_bound,
+    ilog3,
+    min_output_round,
+    min_sum_negative,
+    rounds_to_count,
+    theorem1_bound,
+)
+from repro.core.lowerbound.kernel import (
+    closed_form_kernel,
+    kernel_component,
+    modular_rank,
+    nullspace_dimension,
+    sum_negative,
+    sum_positive,
+)
+from repro.core.lowerbound.matrices import (
+    build_matrix,
+    configuration_vector,
+    n_columns,
+    n_rows,
+    observation_vector,
+    row_connections,
+)
+from repro.core.lowerbound.pairs import (
+    paper_figure3_pair,
+    paper_figure4_pair,
+    twin_configurations,
+    twin_multigraphs,
+)
+
+__all__ = [
+    "ambiguity_horizon",
+    "build_matrix",
+    "closed_form_kernel",
+    "configuration_vector",
+    "corollary1_bound",
+    "ilog3",
+    "kernel_component",
+    "min_output_round",
+    "min_sum_negative",
+    "modular_rank",
+    "n_columns",
+    "n_rows",
+    "nullspace_dimension",
+    "observation_vector",
+    "paper_figure3_pair",
+    "paper_figure4_pair",
+    "row_connections",
+    "rounds_to_count",
+    "sum_negative",
+    "sum_positive",
+    "theorem1_bound",
+    "twin_configurations",
+    "twin_multigraphs",
+]

@@ -1,0 +1,112 @@
+"""Closed-form round bounds: Lemma 5, Theorems 1-2, Corollary 1.
+
+Round-numbering convention used throughout the library: after executing
+rounds ``0..r`` the leader has observed rounds ``0..r`` -- the situation
+the paper's system ``m_r = M_r s_r`` describes.  "Ambiguous at round
+``r``" means at least two feasible sizes exist given those observations.
+
+The twin construction of Lemma 5 keeps sizes ``n`` and ``n + 1``
+indistinguishable at round ``r`` whenever the kernel's negative mass
+fits inside the configuration, ``Σ⁻ k_r = (3^{r+1} - 1)/2 <= n``.  The
+largest such ``r`` is :func:`ambiguity_horizon`; the earliest round at
+which *any* algorithm can output is therefore
+:func:`min_output_round` = horizon + 1, and the minimum number of
+executed rounds is :func:`rounds_to_count` = horizon + 2.  All three
+grow as ``log_3(2n + 1)`` -- the ``Ω(log |V|)`` of Theorem 2.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ilog3",
+    "min_sum_negative",
+    "ambiguity_horizon",
+    "theorem1_bound",
+    "min_output_round",
+    "rounds_to_count",
+    "corollary1_bound",
+]
+
+
+def ilog3(x: int) -> int:
+    """``⌊log_3 x⌋`` by exact integer arithmetic (``x >= 1``)."""
+    if x < 1:
+        raise ValueError("ilog3 requires x >= 1")
+    power, exponent = 1, 0
+    while power * 3 <= x:
+        power *= 3
+        exponent += 1
+    return exponent
+
+
+def min_sum_negative(r: int) -> int:
+    """Minimum network size at which round ``r`` can still be ambiguous.
+
+    Equals ``Σ⁻ k_r = (3^{r+1} - 1)/2`` (Lemma 4): the twin construction
+    needs one node on every negative kernel component.
+    """
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+    return (3 ** (r + 1) - 1) // 2
+
+
+def ambiguity_horizon(n: int) -> int:
+    """The last round at which a size-``n`` ``M(DBL)_2`` can be ambiguous.
+
+    The largest ``r`` with ``(3^{r+1} - 1)/2 <= n``, i.e.
+    ``⌊log_3(2n + 1)⌋ - 1``.  Defined for ``n >= 1`` (round 0 is always
+    ambiguous: ``Σ⁻ k_0 = 1``).
+    """
+    if n < 1:
+        raise ValueError("the network has at least one non-leader node")
+    return ilog3(2 * n + 1) - 1
+
+
+def theorem1_bound(n: int) -> int:
+    """Theorem 1's bound: no algorithm outputs at a round ``< this``.
+
+    The paper states the threshold as ``⌊log_3(2|W| + 1)⌋ - 1``; with
+    our round convention that equals :func:`ambiguity_horizon` -- both
+    formulas are kept so experiments can report them side by side.
+    """
+    return ilog3(2 * n + 1) - 1
+
+
+def min_output_round(n: int) -> int:
+    """Earliest round index at which a correct output is possible.
+
+    One past the ambiguity horizon: observations through round
+    ``ambiguity_horizon(n)`` still admit two sizes, so the first
+    possibly-correct output happens at the next round.
+    """
+    return ambiguity_horizon(n) + 1
+
+
+def rounds_to_count(n: int) -> int:
+    """Minimum number of executed rounds before the leader can output.
+
+    Rounds ``0..min_output_round(n)`` inclusive, i.e.
+    ``ambiguity_horizon(n) + 2`` -- the quantity the optimal algorithm
+    of :mod:`repro.core.counting.optimal` achieves exactly against the
+    worst-case adversary.
+    """
+    return min_output_round(n) + 1
+
+
+def corollary1_bound(n: int, chain_length: int) -> int:
+    """Corollary 1's additive shape for the chain-plus-core gadget.
+
+    For :func:`repro.networks.generators.chains.chain_pd2_network` with
+    ``chain_length`` static chain nodes and ``n`` anonymous core nodes,
+    the core's round-``t`` hub observations reach the leader only at
+    round ``t + chain_length + 1`` (one hop per chain link plus the
+    hub hop), after which the leader still faces the bare core's
+    ambiguity.  Executed rounds:
+    ``rounds_to_count(n) + chain_length + 1``, which
+    :func:`repro.core.counting.chain.count_chain_pd2` achieves exactly.
+    Since the network's dynamic diameter ``D`` grows linearly with
+    ``chain_length``, this is the paper's ``D + Ω(log |V|)`` shape.
+    """
+    if chain_length < 0:
+        raise ValueError("chain_length must be non-negative")
+    return rounds_to_count(n) + chain_length + 1

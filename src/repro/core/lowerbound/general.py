@@ -1,0 +1,208 @@
+"""The leader's linear system for general ``k``: ``M(DBL)_k`` beyond k=2.
+
+The paper carries out the dense analysis for ``k = 2`` and lifts the
+bound to every ``k`` through the inclusion
+``M(DBL)_2 ⊆ M(DBL)_k`` (Theorem 1).  This module builds the general-k
+system so the structure behind that lifting can be inspected and the
+paper's open edges explored:
+
+* :func:`general_matrix` -- the coefficient matrix ``M_r^{(k)}`` (one
+  column per history over the ``2^k - 1`` label sets, one row per
+  ``(label, state)`` connection);
+* :func:`general_nullity` -- its kernel dimension, certified by exact
+  modular rank.  For ``k = 2`` this is the paper's Lemma 2 (dimension
+  1); for ``k >= 3`` the kernel is *much* larger --
+  ``(2^k - 1)^{r+1} - k·((2^k - 1)^{r+1} - 1)/(2^k - 2)`` -- so more
+  labels give the adversary more directions to hide along;
+* :func:`product_kernel_vector` -- the closed-form kernel direction
+  ``v_h = Π_i (-1)^{|h[i]| + 1}`` generalising Lemma 3 (the inclusion-
+  exclusion signs make every row sum vanish);
+* :func:`embedded_k2_kernel` -- the paper's ``k_r`` embedded into the
+  general-k column space (the inclusion argument, made concrete);
+* :func:`min_negative_mass` -- an exact integer program for the
+  *cheapest* size-shifting kernel direction: the minimum negative mass
+  over integer kernel vectors with ``Σ v = 1``.  This is the quantity
+  that controls the ambiguity horizon (Lemma 5 uses
+  ``Σ⁻ k_r = (3^{r+1}-1)/2`` for k = 2); computing it for ``k >= 3``
+  answers whether extra labels let the adversary stay ambiguous longer
+  (empirically: no -- the optimum matches the embedded k=2 direction;
+  see the ``tab-general-k`` experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lowerbound.kernel import modular_rank
+from repro.core.states import all_histories, all_label_sets, history_index, n_label_sets
+
+__all__ = [
+    "general_n_columns",
+    "general_n_rows",
+    "general_matrix",
+    "general_nullity",
+    "general_nullity_closed_form",
+    "product_kernel_vector",
+    "embedded_k2_kernel",
+    "min_negative_mass",
+]
+
+MAX_GENERAL_CELLS = 3_000_000
+"""Safety cap on dense ``rows * columns`` for general-k matrices."""
+
+
+def general_n_columns(k: int, r: int) -> int:
+    """Columns of ``M_r^{(k)}``: ``(2^k - 1)^{r+1}`` histories."""
+    _check(k, r)
+    return n_label_sets(k) ** (r + 1)
+
+
+def general_n_rows(k: int, r: int) -> int:
+    """Rows of ``M_r^{(k)}``: ``k · Σ_{i<=r} (2^k - 1)^i`` connections."""
+    _check(k, r)
+    return k * sum(n_label_sets(k) ** i for i in range(r + 1))
+
+
+def _check(k: int, r: int) -> None:
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+
+
+def general_matrix(k: int, r: int, *, dtype=np.int64) -> np.ndarray:
+    """Materialise ``M_r^{(k)}`` densely.
+
+    Row order mirrors the k=2 construction: rounds ascending, labels
+    ascending within a round, prefixes lexicographic within a label.
+    ``general_matrix(2, r)`` equals
+    :func:`repro.core.lowerbound.matrices.build_matrix` exactly.
+    """
+    _check(k, r)
+    rows, cols = general_n_rows(k, r), general_n_columns(k, r)
+    if rows * cols > MAX_GENERAL_CELLS:
+        raise ValueError(
+            f"M_{r}^({k}) would have {rows}x{cols} entries; "
+            f"cap is {MAX_GENERAL_CELLS}"
+        )
+    matrix = np.zeros((rows, cols), dtype=dtype)
+    base = n_label_sets(k)
+    row_offset = 0
+    for round_no in range(r + 1):
+        block = base**round_no
+        for column, history in enumerate(all_histories(k, r + 1)):
+            prefix_rank = history_index(history[:round_no], k)
+            for label in history[round_no]:
+                row = row_offset + (label - 1) * block + prefix_rank
+                matrix[row, column] = 1
+        row_offset += k * block
+    return matrix
+
+
+def general_nullity(k: int, r: int) -> int:
+    """Kernel dimension of ``M_r^{(k)}``, certified exactly.
+
+    Uses the modular full-row-rank certificate of
+    :func:`repro.core.lowerbound.kernel.modular_rank`: the general
+    matrix also has full row rank (checked, not assumed), so the
+    nullity is ``columns - rows``.
+    """
+    matrix = general_matrix(k, r)
+    rank = modular_rank(matrix)
+    return matrix.shape[1] - rank
+
+
+def general_nullity_closed_form(k: int, r: int) -> int:
+    """``columns - rows``, the nullity under full row rank."""
+    return general_n_columns(k, r) - general_n_rows(k, r)
+
+
+def product_kernel_vector(k: int, r: int) -> np.ndarray:
+    """The inclusion-exclusion kernel direction for general ``k``.
+
+    Component at history ``h``: ``Π_i (-1)^(|h[i]| + 1)``.  Each row of
+    ``M_r^{(k)}`` sums, over the free rounds, the per-round factor
+    ``Σ_S (-1)^(|S|+1) = 1`` and, over the pinned round, the factor
+    ``Σ_{S ∋ j} (-1)^(|S|+1) = 0`` -- so the product vector is always in
+    the kernel, and its total is ``1^(r+1) = 1``: it shifts the network
+    size by exactly one, like the paper's ``k_r`` (which it equals for
+    ``k = 2``).
+    """
+    _check(k, r)
+    signs = {
+        labels: (-1) ** (len(labels) + 1) for labels in all_label_sets(k)
+    }
+    vector = np.empty(general_n_columns(k, r), dtype=np.int64)
+    for index, history in enumerate(all_histories(k, r + 1)):
+        component = 1
+        for labels in history:
+            component *= signs[labels]
+        vector[index] = component
+    return vector
+
+
+def embedded_k2_kernel(k: int, r: int) -> np.ndarray:
+    """The paper's ``k_r`` embedded into the general-k column space.
+
+    Histories using only the label sets ``{1}``, ``{2}`` and ``{1, 2}``
+    carry the k=2 kernel component; all other histories carry 0.  This
+    is the concrete form of the inclusion ``M(DBL)_2 ⊆ M(DBL)_k`` that
+    Theorem 1 uses, and it certifies that the general-k system inherits
+    (at least) the k=2 ambiguity: its negative mass is
+    ``(3^{r+1} - 1)/2`` regardless of ``k``.
+    """
+    _check(k, r)
+    allowed = {frozenset({1}), frozenset({2}), frozenset({1, 2})}
+    full = frozenset({1, 2})
+    vector = np.zeros(general_n_columns(k, r), dtype=np.int64)
+    for index, history in enumerate(all_histories(k, r + 1)):
+        if all(labels in allowed for labels in history):
+            flips = sum(1 for labels in history if labels == full)
+            vector[index] = -1 if flips % 2 else 1
+    return vector
+
+
+def min_negative_mass(k: int, r: int, *, bound: int = 3) -> int:
+    """Exact minimum negative mass of a unit size-shifting kernel vector.
+
+    Solves, by integer programming (``scipy.optimize.milp``):
+
+        minimise   Σ q
+        subject to M_r^{(k)} (p - q) = 0,  Σ (p - q) = 1,
+                   0 <= p, q <= bound,  p, q integer
+
+    where ``v = p - q`` splits the kernel vector into positive and
+    negative parts.  The optimum is the smallest network size at which
+    sizes ``n`` and ``n + 1`` can be confused at round ``r`` by *some*
+    kernel direction -- the general-k analogue of Lemma 4's
+    ``Σ⁻ k_r``.  For ``k = 2`` the answer is ``(3^{r+1} - 1)/2``; for
+    larger ``k`` the experiment shows the same value, i.e. extra labels
+    do not extend the ambiguity horizon.
+
+    Args:
+        bound: Per-component magnitude cap (kept small; the optimum is
+            attained by ±1 vectors in every case observed).
+    """
+    from scipy.optimize import LinearConstraint, milp
+
+    _check(k, r)
+    matrix = general_matrix(k, r).astype(float)
+    rows, cols = matrix.shape
+
+    # Variables: [p (cols), q (cols)]; v = p - q.
+    objective = np.concatenate([np.zeros(cols), np.ones(cols)])
+    kernel_block = np.hstack([matrix, -matrix])
+    total_row = np.concatenate([np.ones(cols), -np.ones(cols)])
+    constraints = [
+        LinearConstraint(kernel_block, np.zeros(rows), np.zeros(rows)),
+        LinearConstraint(total_row[None, :], [1.0], [1.0]),
+    ]
+    result = milp(
+        objective,
+        constraints=constraints,
+        integrality=np.ones(2 * cols),
+        bounds=(0, bound),
+    )
+    if not result.success:
+        raise RuntimeError(f"MILP failed for k={k}, r={r}: {result.message}")
+    return int(round(result.fun))

@@ -1,0 +1,158 @@
+"""Kernel vectors of ``M_r``: Lemmas 2, 3 and 4 in executable form.
+
+Lemma 3 gives the kernel of ``M_r`` in closed form through the recursion
+``k_r = [k_{r-1}, k_{r-1}, -k_{r-1}]`` with ``k_{-1} = 1``.  Unrolled,
+the component of ``k_r`` at a history ``h`` is
+
+    ``(k_r)_h = (-1)^(number of rounds i with h[i] = {1, 2})``
+
+because each ``{1,2}`` digit selects the negated block.  From this the
+Lemma 4 identities follow: ``Σ k_r = 1`` and
+``Σ⁻ k_r = (3^{r+1} - 1) / 2``.
+
+Lemma 2 (the kernel is exactly one-dimensional) is verified here in two
+exact steps:
+
+1. ``M_r · k_r = 0`` by exact integer arithmetic, so the nullity is at
+   least 1 (:func:`verify_in_kernel`).
+2. ``rank(M_r) = #rows`` over a prime field (:func:`modular_rank`).
+   A full *modular* row rank lower-bounds the rational rank, so this
+   certifies full row rank exactly -- no floating point anywhere -- and
+   with rank-nullity the nullity is exactly
+   ``3^{r+1} - (3^{r+1} - 1) = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lowerbound.matrices import build_matrix, n_columns
+from repro.core.states import all_histories
+
+__all__ = [
+    "kernel_component",
+    "closed_form_kernel",
+    "recursive_kernel",
+    "sum_positive",
+    "sum_negative",
+    "verify_in_kernel",
+    "modular_rank",
+    "nullspace_dimension",
+]
+
+_FULL = frozenset({1, 2})
+_DEFAULT_PRIME = 2_147_483_647  # 2**31 - 1, Mersenne prime
+
+
+def kernel_component(history: tuple) -> int:
+    """The component of ``k_r`` at a history (closed form of Lemma 3).
+
+    ``+1`` if the history contains an even number of ``{1,2}`` label
+    sets, ``-1`` otherwise.
+    """
+    flips = sum(1 for labels in history if labels == _FULL)
+    return -1 if flips % 2 else 1
+
+
+def closed_form_kernel(r: int) -> np.ndarray:
+    """The kernel vector ``k_r`` in the canonical column order of ``M_r``."""
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+    return np.fromiter(
+        (kernel_component(history) for history in all_histories(2, r + 1)),
+        dtype=np.int64,
+        count=n_columns(r),
+    )
+
+
+def recursive_kernel(r: int) -> np.ndarray:
+    """``k_r`` built literally by the Lemma 3 recursion.
+
+    ``k_r = [k_{r-1}, k_{r-1}, -k_{r-1}]`` with ``k_{-1} = [1]``.  Kept
+    separate from :func:`closed_form_kernel` so the test suite can check
+    that the recursion and the unrolled closed form agree.
+    """
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+    kernel = np.array([1], dtype=np.int64)
+    for _ in range(r + 1):
+        kernel = np.concatenate([kernel, kernel, -kernel])
+    return kernel
+
+
+def sum_positive(r: int) -> int:
+    """``Σ⁺ k_r = (3^{r+1} + 1) / 2`` (Lemma 4)."""
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+    return (3 ** (r + 1) + 1) // 2
+
+
+def sum_negative(r: int) -> int:
+    """``Σ⁻ k_r = (3^{r+1} - 1) / 2`` (Lemma 4; stated as a magnitude)."""
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+    return (3 ** (r + 1) - 1) // 2
+
+
+def verify_in_kernel(r: int) -> bool:
+    """Exactly check ``M_r · k_r = 0`` with integer arithmetic.
+
+    Uses ``int64`` throughout; entries of the product are bounded by the
+    number of columns (``3^{r+1}``), far below overflow for every ``r``
+    at which the dense matrix is constructible.
+    """
+    matrix = build_matrix(r)
+    return not np.any(matrix @ closed_form_kernel(r))
+
+
+def modular_rank(
+    matrix: np.ndarray, *, prime: int = _DEFAULT_PRIME
+) -> int:
+    """Rank of an integer matrix over ``GF(prime)`` by Gaussian elimination.
+
+    The modular rank never exceeds the rational rank, so
+    ``modular_rank(M) == M.shape[0]`` is an exact certificate of full row
+    rank.  Vectorised over numpy ``int64``; all intermediate values stay
+    below ``prime**2 < 2**62``.
+    """
+    work = np.mod(matrix.astype(np.int64), prime)
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        if rank == rows:
+            break
+        pivot_rows = np.nonzero(work[rank:, col])[0]
+        if pivot_rows.size == 0:
+            continue
+        pivot = rank + int(pivot_rows[0])
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+        inverse = pow(int(work[rank, col]), prime - 2, prime)
+        work[rank] = (work[rank] * inverse) % prime
+        targets = np.nonzero(work[:, col])[0]
+        targets = targets[targets != rank]
+        if targets.size:
+            work[targets] = (
+                work[targets] - np.outer(work[targets, col], work[rank])
+            ) % prime
+        rank += 1
+    return rank
+
+
+def nullspace_dimension(r: int, *, prime: int = _DEFAULT_PRIME) -> int:
+    """The nullity of ``M_r``, certified exactly (Lemma 2 says it is 1).
+
+    Combines :func:`modular_rank` (full row rank certificate) with
+    rank-nullity.  Raises :class:`AssertionError` if the modular rank is
+    not full -- which would mean either an unlucky prime or a genuine
+    failure of Lemma 2; in either case the caller should investigate
+    rather than trust a silent answer.
+    """
+    matrix = build_matrix(r)
+    rank = modular_rank(matrix, prime=prime)
+    if rank != matrix.shape[0]:
+        raise AssertionError(
+            f"M_{r} has modular rank {rank} < {matrix.shape[0]} rows; "
+            "retry with a different prime or investigate"
+        )
+    return matrix.shape[1] - rank

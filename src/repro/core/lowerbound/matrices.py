@@ -1,0 +1,162 @@
+"""Explicit coefficient matrices ``M_r`` of the leader's linear system.
+
+At round ``r`` the leader's knowledge about an ``M(DBL)_2`` execution is
+the system ``m_r = M_r s_r`` (equation (2) of the paper):
+
+* one **column** per possible node state (history) of length ``r + 1`` --
+  ``3^{r+1}`` columns, ordered lexicographically with
+  ``{1} < {2} < {1,2}`` and the first round most significant;
+* one **row** per leader *connection* ``(j, prefix)`` -- a label
+  ``j ∈ {1, 2}`` paired with a node state of some round ``r' <= r`` --
+  for ``2·Σ_{i<=r} 3^i`` rows, ordered by round, then label, then prefix;
+* entry 1 exactly when the column's history extends the row's prefix and
+  contains label ``j`` at round ``r'`` (the "two trails of ones" of
+  length ``3^{r-r'}`` described in Section 4.2).
+
+``build_matrix(0)`` and ``build_matrix(1)`` reproduce the paper's
+equations (2) and (5) entry for entry; the test suite checks this.
+
+Matrices are dense and grow as ``3^{2r}``; building is capped at
+``r = MAX_DENSE_ROUND`` (about 4.8M entries).  Everything the library
+needs beyond that is available in closed form via
+:mod:`repro.core.lowerbound.kernel`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.states import (
+    ObservationSequence,
+    all_histories,
+    history_index,
+    n_histories,
+)
+
+__all__ = [
+    "MAX_DENSE_ROUND",
+    "n_columns",
+    "n_rows",
+    "row_connections",
+    "row_index",
+    "build_matrix",
+    "observation_vector",
+    "configuration_vector",
+]
+
+MAX_DENSE_ROUND = 6
+"""Largest round for which ``build_matrix`` will materialise ``M_r``."""
+
+_K = 2  # The paper's dense analysis is for M(DBL)_2.
+
+
+def n_columns(r: int) -> int:
+    """Number of columns of ``M_r``: ``3^{r+1}`` (all states at round r+1)."""
+    _check_round(r)
+    return 3 ** (r + 1)
+
+
+def n_rows(r: int) -> int:
+    """Number of rows of ``M_r``: ``2·Σ_{i<=r} 3^i = 3^{r+1} - 1``."""
+    _check_round(r)
+    return sum(2 * 3**i for i in range(r + 1))
+
+
+def _check_round(r: int) -> None:
+    if r < 0:
+        raise ValueError("rounds are numbered from 0")
+
+
+def row_connections(r: int) -> list[tuple[int, tuple]]:
+    """The ``(label, prefix)`` connection of every row of ``M_r``, in order.
+
+    Rows are grouped by the round ``r' = len(prefix)`` that introduced
+    them; within a round, all label-1 rows come first (prefixes in
+    lexicographic order), then all label-2 rows -- the ordering of the
+    paper's equation (4).
+    """
+    _check_round(r)
+    connections: list[tuple[int, tuple]] = []
+    for round_no in range(r + 1):
+        for label in (1, 2):
+            connections.extend(
+                (label, prefix) for prefix in all_histories(_K, round_no)
+            )
+    return connections
+
+
+def row_index(label: int, prefix: Sequence, r: int) -> int:
+    """Index of the row for connection ``(label, prefix)`` in ``M_r``."""
+    round_no = len(prefix)
+    if round_no > r:
+        raise ValueError(f"prefix of length {round_no} has no row in M_{r}")
+    if label not in (1, 2):
+        raise ValueError("labels are 1 and 2 in M(DBL)_2")
+    offset = sum(2 * 3**i for i in range(round_no))
+    block = n_histories(_K, round_no)
+    return offset + (label - 1) * block + history_index(tuple(prefix), _K)
+
+
+def build_matrix(r: int, *, dtype=np.int64) -> np.ndarray:
+    """Materialise ``M_r`` as a dense 0/1 matrix.
+
+    Raises:
+        ValueError: ``r > MAX_DENSE_ROUND`` (the matrix would not fit in
+            memory comfortably; use the closed forms instead).
+    """
+    _check_round(r)
+    if r > MAX_DENSE_ROUND:
+        raise ValueError(
+            f"M_{r} would have {n_columns(r)}^2-ish entries; dense "
+            f"construction is capped at r={MAX_DENSE_ROUND}"
+        )
+    matrix = np.zeros((n_rows(r), n_columns(r)), dtype=dtype)
+    for column, history in enumerate(all_histories(_K, r + 1)):
+        for round_no in range(r + 1):
+            prefix = history[:round_no]
+            for label in history[round_no]:
+                matrix[row_index(label, prefix, r), column] = 1
+    return matrix
+
+
+def observation_vector(observations: ObservationSequence, r: int) -> np.ndarray:
+    """The constant-term vector ``m_r`` of a leader state.
+
+    Component ``(j, prefix)`` is the multiplicity ``|(j, prefix)|`` in
+    the leader observation of round ``len(prefix)``, per Definition 7.
+
+    Args:
+        observations: A leader state covering at least rounds ``0..r``.
+        r: The system's round.
+    """
+    if observations.k != _K:
+        raise ValueError("observation_vector supports the M(DBL)_2 analysis")
+    if observations.rounds < r + 1:
+        raise ValueError(
+            f"need observations for rounds 0..{r}, got {observations.rounds}"
+        )
+    vector = np.zeros(n_rows(r), dtype=np.int64)
+    for label, prefix in row_connections(r):
+        vector[row_index(label, prefix, r)] = observations.count(
+            len(prefix), label, prefix
+        )
+    return vector
+
+
+def configuration_vector(counts: Mapping[tuple, int], r: int) -> np.ndarray:
+    """A solution vector ``s_r`` from a configuration multiset.
+
+    ``counts`` maps full histories of length ``r + 1`` to node
+    multiplicities (e.g. :meth:`repro.networks.DynamicMultigraph.configuration`).
+    """
+    vector = np.zeros(n_columns(r), dtype=np.int64)
+    for history, count in counts.items():
+        if len(history) != r + 1:
+            raise ValueError(
+                f"history {history!r} has length {len(history)}, "
+                f"expected {r + 1}"
+            )
+        vector[history_index(tuple(history), _K)] = count
+    return vector

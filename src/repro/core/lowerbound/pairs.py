@@ -1,0 +1,148 @@
+"""Indistinguishable twin configurations (Lemma 5, Figures 3 and 4).
+
+The lower-bound argument is existential: *there are* two ``M(DBL)_2``
+executions of sizes ``n`` and ``n + 1`` whose leader states coincide
+through round ``r`` whenever ``Σ⁻ k_r <= n``.  This module makes the
+argument constructive and runnable:
+
+* :func:`twin_configurations` builds the solution vectors ``s`` (one
+  node on every negative kernel component, spare mass spread over them)
+  and ``s' = s + k_r`` (every positive component gains one node, every
+  negative one loses one) as history multisets.
+* :func:`twin_multigraphs` turns them into live
+  :class:`repro.networks.DynamicMultigraph` instances whose leader
+  observations compare equal through round ``r`` -- the test suite and
+  ``benchmarks/bench_lower_bound.py`` verify this through the actual
+  labeled message-passing engine as well.
+* :func:`paper_figure3_pair` and :func:`paper_figure4_pair` are the two
+  concrete worked examples drawn in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.lowerbound.bounds import min_sum_negative
+from repro.core.lowerbound.kernel import kernel_component
+from repro.core.states import all_histories, history_from_index
+from repro.networks.multigraph import DynamicMultigraph
+
+__all__ = [
+    "twin_configurations",
+    "twin_multigraphs",
+    "paper_figure3_pair",
+    "paper_figure4_pair",
+]
+
+
+def twin_configurations(r: int, n: int) -> tuple[Counter, Counter]:
+    """Build twin history multisets of sizes ``n`` and ``n + 1``.
+
+    Following the proof of Lemma 5: the base configuration ``s`` places
+    one node on every history with a negative kernel component (there
+    are ``Σ⁻ k_r = (3^{r+1}-1)/2`` of them) and distributes the spare
+    ``n - Σ⁻ k_r`` nodes over those same histories; the twin is
+    ``s' = s + k_r``, one node larger because ``Σ k_r = 1`` (Lemma 4).
+
+    Args:
+        r: The round through which the twins must be indistinguishable.
+        n: Size of the smaller twin; must satisfy ``n >= Σ⁻ k_r``.
+
+    Returns:
+        ``(smaller, larger)`` -- Counters over histories of length
+        ``r + 1`` with totals ``n`` and ``n + 1``.
+
+    Raises:
+        ValueError: ``n`` is too small for ambiguity at round ``r``
+            (Lemma 5's precondition fails).
+    """
+    needed = min_sum_negative(r)
+    if n < needed:
+        raise ValueError(
+            f"ambiguity at round {r} needs n >= Σ⁻ k_{r} = {needed}, got {n}"
+        )
+    smaller: Counter = Counter()
+    larger: Counter = Counter()
+    spare = n - needed
+    for history in all_histories(2, r + 1):
+        component = kernel_component(history)
+        if component < 0:
+            count = 1
+            if spare > 0:
+                count += spare
+                spare = 0
+            smaller[history] = count
+            if count > 1:
+                larger[history] = count - 1
+        else:
+            larger[history] = 1
+    assert sum(smaller.values()) == n
+    assert sum(larger.values()) == n + 1
+    return smaller, larger
+
+
+def twin_multigraphs(
+    r: int, n: int, *, extend: str = "full"
+) -> tuple[DynamicMultigraph, DynamicMultigraph]:
+    """Lemma 5's twins as runnable ``M(DBL)_2`` instances.
+
+    The instances' leader observations compare equal for every round
+    ``<= r`` and (with the default ``extend='full'`` continuation)
+    become distinguishable at round ``r + 1``, where the kernel of
+    ``M_{r+1}`` no longer fits inside either configuration.
+    """
+    smaller, larger = twin_configurations(r, n)
+    return (
+        DynamicMultigraph.from_solution(
+            2, smaller, extend=extend, name=f"twin-n{n}-r{r}"
+        ),
+        DynamicMultigraph.from_solution(
+            2, larger, extend=extend, name=f"twin-n{n + 1}-r{r}"
+        ),
+    )
+
+
+def paper_figure3_pair() -> tuple[DynamicMultigraph, DynamicMultigraph]:
+    """The Figure 3 example: sizes 2 and 4, identical at round 0.
+
+    The paper's system (3) has ``m_0 = [2, 2]ᵀ``; the drawn solutions are
+    ``s_0 = [0, 0, 2]ᵀ`` (two nodes on ``{1,2}``) and
+    ``s'_0 = s_0 + 2·k_0 = [2, 2, 0]ᵀ`` -- a *double* kernel step, so the
+    sizes differ by 2.
+    """
+    one, two, both = frozenset({1}), frozenset({2}), frozenset({1, 2})
+    smaller = Counter({(both,): 2})
+    larger = Counter({(one,): 2, (two,): 2})
+    return (
+        DynamicMultigraph.from_solution(2, smaller, name="figure3-M"),
+        DynamicMultigraph.from_solution(2, larger, name="figure3-M'"),
+    )
+
+
+def paper_figure4_pair() -> tuple[DynamicMultigraph, DynamicMultigraph]:
+    """The Figure 4 example: sizes 4 and 5, identical through round 1.
+
+    The paper gives ``s_1 = [0,0,1,0,0,1,1,1,0]ᵀ`` (n = 4) and
+    ``s'_1 = s_1 + k_1 = [1,1,0,1,1,0,0,0,1]ᵀ`` (n = 5) in the
+    lexicographic column order of ``M_1``.
+    """
+    s1 = [0, 0, 1, 0, 0, 1, 1, 1, 0]
+    s1_prime = [1, 1, 0, 1, 1, 0, 0, 0, 1]
+    smaller = Counter(
+        {
+            history_from_index(index, 2, 2): count
+            for index, count in enumerate(s1)
+            if count
+        }
+    )
+    larger = Counter(
+        {
+            history_from_index(index, 2, 2): count
+            for index, count in enumerate(s1_prime)
+            if count
+        }
+    )
+    return (
+        DynamicMultigraph.from_solution(2, smaller, name="figure4-M"),
+        DynamicMultigraph.from_solution(2, larger, name="figure4-M'"),
+    )

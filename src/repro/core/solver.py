@@ -1,0 +1,262 @@
+"""Exact solver for the leader's feasibility problem in ``M(DBL)_2``.
+
+After observing rounds ``0..r``, the leader knows the multiset of
+``(label, state)`` connections of every round -- the vector ``m_r`` of
+the paper's system ``m_r = M_r s_r`` -- and must decide which network
+sizes ``Σ s`` are achievable by *some* non-negative integer solution
+``s``.  Because ``ker(M_r)`` is one-dimensional (Lemma 2) and
+``Σ k_r = 1`` (Lemma 4), the achievable sizes form a contiguous integer
+interval; counting succeeds exactly when that interval collapses to a
+point.
+
+Rather than materialising the exponentially large ``M_r``, the solver
+works on the **observation prefix tree**: the nodes of depth ``i`` are
+the node states (histories) observed at round ``i``, and the two
+equations the leader knows about a prefix ``p`` of depth ``i`` are
+
+    ``n(p·{1})   + n(p·{1,2}) = |(1, p)|``
+    ``n(p·{2})   + n(p·{1,2}) = |(2, p)|``
+
+where ``n(q)`` counts the nodes whose history starts with ``q``.
+Sibling subtrees share no other constraint, so the set of feasible
+``n(p)`` values propagates bottom-up as an integer interval:
+
+* at the deepest observed prefixes, ``n(p) ∈ [max(a1, a2), a1 + a2]``
+  (the overlap ``x12 = n(p·{1,2})`` ranges over ``[0, min(a1, a2)]``);
+* one level up, the overlap is additionally pinched by the children's
+  intervals, and ``n(p) = a1 + a2 - x12`` again maps an interval to an
+  interval.
+
+The root interval is the answer, computed in
+``O(#observed states · 3)`` time -- polynomial in the actual execution,
+not in the ``3^{r+1}`` state space.  Its equivalence with brute-force
+enumeration over the dense system is covered by the test suite.
+
+The module also provides *witness extraction* (a concrete configuration
+achieving any feasible size), which is what turns Lemma 5 from a
+feasibility statement into runnable twin networks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.states import ObservationSequence
+from repro.simulation.errors import InfeasibleObservationError
+
+__all__ = [
+    "SizeInterval",
+    "feasible_size_interval",
+    "feasible_configuration",
+    "feasible_size_set_bruteforce",
+]
+
+_ONE = frozenset({1})
+_TWO = frozenset({2})
+_BOTH = frozenset({1, 2})
+
+
+@dataclass(frozen=True)
+class SizeInterval:
+    """A contiguous interval of feasible network sizes ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi or self.lo < 0:
+            raise ValueError(f"invalid size interval [{self.lo}, {self.hi}]")
+
+    @property
+    def width(self) -> int:
+        """Number of feasible sizes beyond the first (0 means unique)."""
+        return self.hi - self.lo
+
+    @property
+    def is_unique(self) -> bool:
+        """Whether exactly one network size is consistent."""
+        return self.lo == self.hi
+
+    def __contains__(self, size: int) -> bool:
+        return self.lo <= size <= self.hi
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi + 1))
+
+    def __repr__(self) -> str:
+        return f"SizeInterval({self.lo}, {self.hi})"
+
+
+def _require_mdbl2(observations: ObservationSequence) -> None:
+    if observations.k != 2:
+        raise ValueError(
+            "the exact interval solver handles M(DBL)_2; for k > 2 the "
+            "lower bound is inherited from the k = 2 sub-family"
+        )
+    if observations.rounds < 1:
+        raise ValueError("need at least one observed round")
+
+
+def feasible_size_interval(observations: ObservationSequence) -> SizeInterval:
+    """All network sizes consistent with a leader state, as an interval.
+
+    Args:
+        observations: The leader's observation sequence (rounds
+            ``0..r``); must be for ``k = 2``.
+
+    Returns:
+        The interval of totals ``Σ s`` over non-negative integer
+        solutions of ``m_r = M_r s``.
+
+    Raises:
+        InfeasibleObservationError: No configuration matches (possible
+            only for hand-crafted observation sequences).
+    """
+    _require_mdbl2(observations)
+    lo, hi = _subtree_interval(observations, (), 0)
+    return SizeInterval(lo, hi)
+
+
+def _subtree_interval(
+    observations: ObservationSequence, prefix: tuple, depth: int
+) -> tuple[int, int]:
+    """Feasible ``[lo, hi]`` for the node count with history prefix ``prefix``."""
+    a1 = observations.count(depth, 1, prefix)
+    a2 = observations.count(depth, 2, prefix)
+    if a1 == 0 and a2 == 0:
+        return (0, 0)
+    if depth == observations.rounds - 1:
+        return (max(a1, a2), a1 + a2)
+    lo_x12, hi_x12 = _overlap_range(observations, prefix, depth, a1, a2)
+    return (a1 + a2 - hi_x12, a1 + a2 - lo_x12)
+
+
+def _overlap_range(
+    observations: ObservationSequence,
+    prefix: tuple,
+    depth: int,
+    a1: int,
+    a2: int,
+) -> tuple[int, int]:
+    """Feasible range of ``x12 = n(prefix·{1,2})`` given child intervals."""
+    lo1, hi1 = _subtree_interval(observations, prefix + (_ONE,), depth + 1)
+    lo2, hi2 = _subtree_interval(observations, prefix + (_TWO,), depth + 1)
+    lo12, hi12 = _subtree_interval(observations, prefix + (_BOTH,), depth + 1)
+    lo_x12 = max(lo12, a1 - hi1, a2 - hi2)
+    hi_x12 = min(hi12, a1 - lo1, a2 - lo2)
+    if lo_x12 > hi_x12:
+        raise InfeasibleObservationError(
+            f"no configuration matches the observations below state "
+            f"{prefix!r} at round {depth}"
+        )
+    return lo_x12, hi_x12
+
+
+def feasible_configuration(
+    observations: ObservationSequence, size: int | None = None
+) -> Counter:
+    """Extract a configuration (history multiset) achieving ``size``.
+
+    Args:
+        observations: A leader state for ``k = 2`` covering rounds
+            ``0..r``.
+        size: The target total; defaults to the smallest feasible size.
+
+    Returns:
+        A Counter over histories of length ``r + 1`` summing to ``size``
+        whose induced leader state equals ``observations``.
+
+    Raises:
+        InfeasibleObservationError: ``size`` is outside the feasible
+            interval (or the observations are inconsistent).
+    """
+    _require_mdbl2(observations)
+    interval = feasible_size_interval(observations)
+    if size is None:
+        size = interval.lo
+    if size not in interval:
+        raise InfeasibleObservationError(
+            f"size {size} outside feasible interval {interval}"
+        )
+    configuration: Counter = Counter()
+    _realise(observations, (), 0, size, configuration)
+    return configuration
+
+
+def _realise(
+    observations: ObservationSequence,
+    prefix: tuple,
+    depth: int,
+    target: int,
+    configuration: Counter,
+) -> None:
+    """Assign ``target`` nodes below ``prefix``, recursing into children."""
+    a1 = observations.count(depth, 1, prefix)
+    a2 = observations.count(depth, 2, prefix)
+    if a1 == 0 and a2 == 0:
+        if target:
+            raise InfeasibleObservationError(
+                f"cannot place {target} nodes below unobserved state {prefix!r}"
+            )
+        return
+    # target = a1 + a2 - x12 fixes the overlap; child totals follow.
+    x12 = a1 + a2 - target
+    n1, n2 = a1 - x12, a2 - x12
+    if depth == observations.rounds - 1:
+        if x12 < 0 or n1 < 0 or n2 < 0:
+            raise InfeasibleObservationError(
+                f"target {target} infeasible below state {prefix!r}"
+            )
+        for labels, count in ((_ONE, n1), (_TWO, n2), (_BOTH, x12)):
+            if count:
+                configuration[prefix + (labels,)] += count
+        return
+    lo_x12, hi_x12 = _overlap_range(observations, prefix, depth, a1, a2)
+    if not lo_x12 <= x12 <= hi_x12:
+        raise InfeasibleObservationError(
+            f"target {target} infeasible below state {prefix!r}"
+        )
+    # Each child's total must land inside its own feasible interval;
+    # the overlap-range pinching above guarantees this.
+    _realise(observations, prefix + (_ONE,), depth + 1, n1, configuration)
+    _realise(observations, prefix + (_TWO,), depth + 1, n2, configuration)
+    _realise(observations, prefix + (_BOTH,), depth + 1, x12, configuration)
+
+
+def feasible_size_set_bruteforce(
+    observations: ObservationSequence, *, max_size: int | None = None
+) -> set[int]:
+    """Feasible sizes by exhaustive enumeration (small instances only).
+
+    Enumerates every non-negative integer solution of the prefix-tree
+    equations by branching on each overlap variable instead of
+    propagating intervals.  Exponential in the number of observed
+    states; used by the test suite to certify
+    :func:`feasible_size_interval` (the two must agree exactly, and the
+    set must be contiguous -- the combinatorial face of Lemma 2).
+    """
+    _require_mdbl2(observations)
+    sizes = _enumerate_sizes(observations, (), 0)
+    if max_size is not None:
+        sizes = {size for size in sizes if size <= max_size}
+    return sizes
+
+
+def _enumerate_sizes(
+    observations: ObservationSequence, prefix: tuple, depth: int
+) -> set[int]:
+    a1 = observations.count(depth, 1, prefix)
+    a2 = observations.count(depth, 2, prefix)
+    if a1 == 0 and a2 == 0:
+        return {0}
+    if depth == observations.rounds - 1:
+        return {a1 + a2 - x12 for x12 in range(min(a1, a2) + 1)}
+    sizes1 = _enumerate_sizes(observations, prefix + (_ONE,), depth + 1)
+    sizes2 = _enumerate_sizes(observations, prefix + (_TWO,), depth + 1)
+    sizes12 = _enumerate_sizes(observations, prefix + (_BOTH,), depth + 1)
+    feasible: set[int] = set()
+    for x12 in sizes12:
+        if a1 - x12 in sizes1 and a2 - x12 in sizes2:
+            feasible.add(a1 + a2 - x12)
+    return feasible

@@ -1,0 +1,119 @@
+"""Reference solver over the dense linear system (cross-validation).
+
+An independent implementation of the leader's feasibility problem used
+to certify :mod:`repro.core.solver`: instead of interval propagation on
+the observation prefix tree, this solver works directly on the paper's
+dense system ``m_r = M_r s``:
+
+1. materialise ``M_r`` and ``m_r``;
+2. find the minimum-norm real solution ``s*`` with
+   :func:`numpy.linalg.lstsq` and check consistency;
+3. because ``ker(M_r) = span(k_r)`` (Lemma 2), every real solution is
+   ``s* + t·k_r``; the components of ``k_r`` are ``±1``, so integer
+   solutions require ``t ≡ -(k_r)_j·(s*)_j (mod 1)`` for every ``j``,
+   pinning the fractional part of ``t``;
+4. non-negativity bounds ``t`` from both sides, and the achievable
+   sizes are ``Σ s* + t`` over the surviving lattice points (Lemma 4's
+   ``Σ k_r = 1`` makes each kernel step change the size by exactly 1).
+
+Exponential in ``r`` (the matrix has ``3^{r+1}`` columns), so only
+usable for small rounds -- which is exactly its role: an independent
+oracle for the test suite and the ablation benchmark, not a production
+path.  The production path is the ``O(states · r)`` tree solver.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.lowerbound.kernel import closed_form_kernel
+from repro.core.lowerbound.matrices import (
+    MAX_DENSE_ROUND,
+    build_matrix,
+    observation_vector,
+)
+from repro.core.solver import SizeInterval
+from repro.core.states import ObservationSequence
+from repro.simulation.errors import InfeasibleObservationError
+
+__all__ = ["feasible_size_interval_dense"]
+
+_TOL = 1e-7
+
+
+def feasible_size_interval_dense(
+    observations: ObservationSequence,
+) -> SizeInterval:
+    """Feasible network sizes via the dense ``m_r = M_r s`` system.
+
+    Args:
+        observations: A leader state for ``k = 2`` with
+            ``rounds - 1 <= MAX_DENSE_ROUND`` (the dense matrix must be
+            materialisable).
+
+    Returns:
+        The same interval :func:`repro.core.solver.feasible_size_interval`
+        returns -- the test suite asserts they agree on every fuzzed
+        execution.
+
+    Raises:
+        InfeasibleObservationError: No non-negative integer solution
+            exists.
+        ValueError: The instance is too large for the dense path.
+    """
+    if observations.k != 2:
+        raise ValueError("the dense reference solver handles M(DBL)_2")
+    if observations.rounds < 1:
+        raise ValueError("need at least one observed round")
+    r = observations.rounds - 1
+    if r > MAX_DENSE_ROUND:
+        raise ValueError(
+            f"dense solving at round {r} would need a 3^{r + 1}-column "
+            f"matrix; use the tree solver instead"
+        )
+
+    matrix = build_matrix(r).astype(float)
+    target = observation_vector(observations, r).astype(float)
+    solution, _residuals, _rank, _sv = np.linalg.lstsq(
+        matrix, target, rcond=None
+    )
+    if not np.allclose(matrix @ solution, target, atol=_TOL):
+        raise InfeasibleObservationError(
+            "observations are inconsistent: the linear system has no "
+            "real solution"
+        )
+
+    kernel = closed_form_kernel(r).astype(float)
+
+    # Integer lattice: t must satisfy t ≡ -(k_r)_j (s*)_j (mod 1) for
+    # every component j; all requirements must agree on frac(t).
+    requirements = np.mod(-kernel * solution, 1.0)
+    fraction = float(requirements[0])
+    deviation = np.abs(requirements - fraction)
+    deviation = np.minimum(deviation, 1.0 - deviation)  # wrap-around
+    if not np.all(deviation < 1e-5):
+        raise InfeasibleObservationError(
+            "observations admit no integer solution"
+        )
+
+    # Non-negativity: (s*)_j + t (k_r)_j >= 0 bounds t on both sides.
+    lo_t, hi_t = -math.inf, math.inf
+    for value, sign in zip(solution, kernel):
+        if sign > 0:
+            lo_t = max(lo_t, -value)
+        else:
+            hi_t = min(hi_t, value)
+
+    first = math.ceil(lo_t - fraction - 1e-5)
+    last = math.floor(hi_t - fraction + 1e-5)
+    if first > last:
+        raise InfeasibleObservationError(
+            "observations admit no non-negative integer solution"
+        )
+
+    total = float(solution.sum())
+    lo_size = round(total + fraction + first)
+    hi_size = round(total + fraction + last)
+    return SizeInterval(int(lo_size), int(hi_size))

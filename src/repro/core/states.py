@@ -1,0 +1,254 @@
+"""State histories and leader observations for ``M(DBL)_k`` executions.
+
+This module is the shared vocabulary of the whole library:
+
+* A **label set** ``L(v, r)`` (Definition 5) is the non-empty set of edge
+  labels connecting node ``v`` to the leader at round ``r`` -- a
+  ``frozenset`` of ints drawn from ``{1, ..., k}``.
+* A **history** (the paper's node state ``S(v, r)``, Definition 6) is the
+  ordered list ``[L(v, 0), ..., L(v, r-1)]`` -- a tuple of label sets.
+  The initial ``(⊥)`` element is implicit, as in the paper's own
+  convention (footnote 4).
+* A **leader observation** at round ``r`` (one entry ``C(v_l, r)`` of the
+  leader state, Definition 7) is the multiset of ``(j, S(v, r))`` pairs,
+  one per edge with label ``j`` incident to a node with state
+  ``S(v, r)``.
+
+The module also fixes the paper's *lexicographic ordering* of label sets
+and histories (``{1} < {2} < {1,2}``, first round most significant),
+which is what makes the explicit matrices of
+:mod:`repro.core.lowerbound.matrices` match equations (2) and (5) of the
+paper symbol for symbol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from functools import lru_cache
+
+from repro.simulation.errors import ModelError
+
+__all__ = [
+    "LabelSet",
+    "History",
+    "label_set",
+    "all_label_sets",
+    "label_set_index",
+    "n_label_sets",
+    "all_histories",
+    "n_histories",
+    "history_index",
+    "history_from_index",
+    "validate_label_set",
+    "leader_observation",
+    "ObservationSequence",
+]
+
+LabelSet = frozenset
+"""Type alias for a set of edge labels (``frozenset[int]``)."""
+
+History = tuple
+"""Type alias for a node state history (``tuple[LabelSet, ...]``)."""
+
+
+def label_set(*labels: int) -> frozenset:
+    """Build a label set from individual labels: ``label_set(1, 2)``."""
+    return frozenset(labels)
+
+
+def validate_label_set(labels: frozenset, k: int) -> frozenset:
+    """Check that ``labels`` is a legal ``M(DBL)_k`` label set.
+
+    Raises:
+        ModelError: ``labels`` is empty or not a subset of ``{1..k}``.
+    """
+    if not isinstance(labels, frozenset):
+        labels = frozenset(labels)
+    if not labels:
+        raise ModelError("a label set must be non-empty (1 <= |E^v(r)|)")
+    if not all(isinstance(lab, int) and 1 <= lab <= k for lab in labels):
+        raise ModelError(
+            f"label set {set(labels)!r} is not a subset of {{1..{k}}}"
+        )
+    return labels
+
+
+@lru_cache(maxsize=None)
+def all_label_sets(k: int) -> tuple:
+    """All non-empty subsets of ``{1..k}`` in the paper's order.
+
+    For ``k = 2`` this is exactly ``{1} < {2} < {1,2}`` (Section 4.2).
+    For general ``k`` the order extends naturally: subsets are sorted by
+    size first, then lexicographically by sorted contents.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    subsets = []
+    for size in range(1, k + 1):
+        for combo in itertools.combinations(range(1, k + 1), size):
+            subsets.append(frozenset(combo))
+    return tuple(subsets)
+
+
+@lru_cache(maxsize=None)
+def _label_set_positions(k: int) -> dict:
+    return {labels: index for index, labels in enumerate(all_label_sets(k))}
+
+
+def label_set_index(labels: frozenset, k: int) -> int:
+    """Position of ``labels`` in the canonical order of :func:`all_label_sets`."""
+    try:
+        return _label_set_positions(k)[frozenset(labels)]
+    except KeyError:
+        raise ModelError(
+            f"{set(labels)!r} is not a valid non-empty subset of {{1..{k}}}"
+        ) from None
+
+
+def n_label_sets(k: int) -> int:
+    """Number of possible label sets: ``2**k - 1``."""
+    return 2**k - 1
+
+
+def n_histories(k: int, length: int) -> int:
+    """Number of possible histories of the given length: ``(2**k - 1)**length``."""
+    return n_label_sets(k) ** length
+
+
+def all_histories(k: int, length: int) -> Iterator:
+    """Yield every history of ``length`` rounds in lexicographic order.
+
+    The first round is the most significant position, so for ``k = 2``
+    the first history is ``[{1}, ..., {1}]`` and the last is
+    ``[{1,2}, ..., {1,2}]`` -- the column order of the paper's ``M_r``.
+    """
+    yield from itertools.product(all_label_sets(k), repeat=length)
+
+
+def history_index(history: Sequence, k: int) -> int:
+    """Mixed-radix rank of ``history`` in the order of :func:`all_histories`."""
+    base = n_label_sets(k)
+    index = 0
+    for labels in history:
+        index = index * base + label_set_index(labels, k)
+    return index
+
+
+def history_from_index(index: int, k: int, length: int) -> tuple:
+    """Inverse of :func:`history_index`."""
+    base = n_label_sets(k)
+    if not 0 <= index < base**length:
+        raise ValueError(
+            f"index {index} out of range for {base ** length} histories"
+        )
+    sets = all_label_sets(k)
+    digits = []
+    for _ in range(length):
+        index, digit = divmod(index, base)
+        digits.append(sets[digit])
+    return tuple(reversed(digits))
+
+
+def leader_observation(
+    label_sets: Iterable[frozenset],
+    histories: Iterable[tuple],
+) -> Counter:
+    """Build one round's leader observation ``C(v_l, r)``.
+
+    Args:
+        label_sets: For each node of ``W``, its label set at round ``r``.
+        histories: For each node of ``W`` (same order), its state
+            ``S(v, r)`` -- the history of rounds ``0..r-1``.
+
+    Returns:
+        A multiset (Counter) over ``(label, history)`` pairs with one
+        entry per *edge*, matching Definition 7: ``(j, S(v, r))`` appears
+        once for every edge labeled ``j`` incident to ``v``.
+    """
+    observation: Counter = Counter()
+    for labels, history in zip(label_sets, histories):
+        for label in labels:
+            observation[(label, tuple(history))] += 1
+    return observation
+
+
+class ObservationSequence:
+    """The leader state ``S(v_l, r)`` as a sequence of round observations.
+
+    ``sequence[i]`` is the Counter ``C(v_l, i)`` over ``(label, history)``
+    pairs observed at round ``i``.  Two executions are indistinguishable
+    to the leader through round ``r`` exactly when their observation
+    sequences compare equal -- this is the object the lower bound reasons
+    about, and the only input the solver and the optimal counting
+    algorithm are allowed to read.
+    """
+
+    def __init__(self, k: int, observations: Sequence[Mapping] = ()) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._observations: list[Counter] = [
+            Counter(observation) for observation in observations
+        ]
+        for round_no, observation in enumerate(self._observations):
+            self._validate_round(round_no, observation)
+
+    def _validate_round(self, round_no: int, observation: Counter) -> None:
+        for (label, history), count in observation.items():
+            if not 1 <= label <= self.k:
+                raise ModelError(
+                    f"round {round_no}: label {label} outside 1..{self.k}"
+                )
+            if len(history) != round_no:
+                raise ModelError(
+                    f"round {round_no}: history {history!r} has length "
+                    f"{len(history)}, expected {round_no}"
+                )
+            if count < 0:
+                raise ModelError(
+                    f"round {round_no}: negative multiplicity {count}"
+                )
+
+    def append(self, observation: Mapping) -> None:
+        """Append the observation of the next round."""
+        observation = Counter(observation)
+        self._validate_round(len(self._observations), observation)
+        self._observations.append(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __getitem__(self, round_no: int) -> Counter:
+        return self._observations[round_no]
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._observations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObservationSequence):
+            return NotImplemented
+        return self.k == other.k and self._observations == other._observations
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservationSequence(k={self.k}, rounds={len(self._observations)})"
+        )
+
+    @property
+    def rounds(self) -> int:
+        """Number of observed rounds."""
+        return len(self._observations)
+
+    def edge_count(self, round_no: int) -> int:
+        """Total number of leader-incident edges observed at ``round_no``."""
+        return sum(self._observations[round_no].values())
+
+    def count(self, round_no: int, label: int, history: Sequence) -> int:
+        """Multiplicity ``|(label, history)|`` at ``round_no`` (0 if absent)."""
+        return self._observations[round_no].get((label, tuple(history)), 0)
+
+    def prefix(self, rounds: int) -> "ObservationSequence":
+        """The observation sequence truncated to the first ``rounds`` rounds."""
+        return ObservationSequence(self.k, self._observations[:rounds])

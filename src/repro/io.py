@@ -1,0 +1,148 @@
+"""JSON serialisation of schedules, observations, and experiment results.
+
+Experiments produce three kinds of artifacts worth persisting and
+exchanging:
+
+* **multigraph schedules** -- an adversary's full strategy; saving one
+  pins an experiment's input exactly (``multigraph_to_json`` /
+  ``multigraph_from_json`` round-trip losslessly);
+* **observation sequences** -- a leader's view of an execution, e.g. to
+  re-run solvers on a recorded trace;
+* **experiment results** -- rows/checks/notes as produced by the
+  registry, e.g. for archiving benchmark outputs.
+
+All formats are plain JSON-compatible dictionaries (labels as sorted
+lists, multisets as pair lists), so files are diffable and readable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.registry import ExperimentResult
+from repro.core.states import ObservationSequence
+from repro.networks.multigraph import DynamicMultigraph
+
+__all__ = [
+    "multigraph_to_json",
+    "multigraph_from_json",
+    "observations_to_json",
+    "observations_from_json",
+    "result_to_json",
+    "save_json",
+    "load_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def multigraph_to_json(multigraph: DynamicMultigraph) -> dict[str, Any]:
+    """Encode an ``M(DBL)_k`` instance as a JSON-compatible dict."""
+    return {
+        "format": "repro.multigraph",
+        "version": _FORMAT_VERSION,
+        "k": multigraph.k,
+        "extend": multigraph.extend,
+        "name": multigraph.name,
+        "schedules": [
+            [sorted(multigraph.labels(node, r)) for r in range(multigraph.prefix_rounds)]
+            for node in range(multigraph.n)
+        ],
+    }
+
+
+def multigraph_from_json(data: dict[str, Any]) -> DynamicMultigraph:
+    """Decode a dict produced by :func:`multigraph_to_json`."""
+    if data.get("format") != "repro.multigraph":
+        raise ValueError(f"not a multigraph document: {data.get('format')!r}")
+    schedules = [
+        [frozenset(labels) for labels in schedule]
+        for schedule in data["schedules"]
+    ]
+    return DynamicMultigraph(
+        data["k"],
+        schedules,
+        extend=data.get("extend", "full"),
+        name=data.get("name", "mdbl"),
+    )
+
+
+def observations_to_json(
+    observations: ObservationSequence,
+) -> dict[str, Any]:
+    """Encode a leader observation sequence."""
+    rounds = []
+    for round_no in range(observations.rounds):
+        entries = [
+            {
+                "label": label,
+                "history": [sorted(labels) for labels in history],
+                "count": count,
+            }
+            for (label, history), count in sorted(
+                observations[round_no].items(),
+                key=lambda item: (item[0][0], repr(item[0][1])),
+            )
+        ]
+        rounds.append(entries)
+    return {
+        "format": "repro.observations",
+        "version": _FORMAT_VERSION,
+        "k": observations.k,
+        "rounds": rounds,
+    }
+
+
+def observations_from_json(data: dict[str, Any]) -> ObservationSequence:
+    """Decode a dict produced by :func:`observations_to_json`."""
+    if data.get("format") != "repro.observations":
+        raise ValueError(
+            f"not an observations document: {data.get('format')!r}"
+        )
+    sequence = ObservationSequence(data["k"])
+    for entries in data["rounds"]:
+        observation: Counter = Counter()
+        for entry in entries:
+            history = tuple(frozenset(labels) for labels in entry["history"])
+            observation[(entry["label"], history)] = entry["count"]
+        sequence.append(observation)
+    return sequence
+
+
+def result_to_json(result: ExperimentResult) -> dict[str, Any]:
+    """Encode an experiment result (rows stringified where needed)."""
+
+    def jsonable(value: Any) -> Any:
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return str(value)
+
+    return {
+        "format": "repro.experiment-result",
+        "version": _FORMAT_VERSION,
+        "experiment": result.experiment,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [
+            {key: jsonable(value) for key, value in row.items()}
+            for row in result.rows
+        ],
+        "checks": dict(result.checks),
+        "notes": list(result.notes),
+        "passed": result.passed,
+    }
+
+
+def save_json(data: dict[str, Any], path: str | Path) -> Path:
+    """Write a document to disk (pretty-printed, trailing newline)."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a document from disk."""
+    return json.loads(Path(path).read_text())

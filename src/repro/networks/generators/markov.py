@@ -1,0 +1,111 @@
+"""Edge-Markov dynamic graphs (Clementi et al. style fair adversary).
+
+A standard model of gradually evolving networks: every potential edge
+is an independent two-state Markov chain -- an absent edge appears with
+probability ``p_up`` per round, a present edge disappears with
+probability ``p_down`` -- patched with a connectivity repair step
+(random inter-component edges) so 1-interval connectivity holds, as the
+paper's model requires.  Unlike the memoryless
+:class:`repro.networks.generators.random_dynamic.RandomConnectedAdversary`,
+consecutive rounds are correlated, which is the regime where gossip
+baselines are usually studied.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.networks.dynamic_graph import DynamicGraph
+
+__all__ = ["EdgeMarkovDynamicGraph", "edge_markov_network"]
+
+
+class EdgeMarkovDynamicGraph:
+    """Lazy, seeded edge-Markov evolution over ``{0..n-1}``.
+
+    Rounds are built sequentially and cached, so access through the
+    :class:`repro.networks.DynamicGraph` wrapper is deterministic and
+    repeatable for a given seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        p_up: float = 0.05,
+        p_down: float = 0.3,
+        initial_p: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        for name, value in (
+            ("p_up", p_up),
+            ("p_down", p_down),
+            ("initial_p", initial_p),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.n = n
+        self.p_up = p_up
+        self.p_down = p_down
+        self.initial_p = initial_p
+        self.seed = seed
+        self._rounds: list[nx.Graph] = []
+
+    def _pairs(self):
+        for u in range(self.n):
+            for v in range(u + 1, self.n):
+                yield u, v
+
+    def _repair_connectivity(self, graph: nx.Graph, rng) -> None:
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        while len(components) > 1:
+            a = components.pop(int(rng.integers(len(components))))
+            b = components[int(rng.integers(len(components)))]
+            graph.add_edge(
+                a[int(rng.integers(len(a)))], b[int(rng.integers(len(b)))]
+            )
+            components = [sorted(c) for c in nx.connected_components(graph)]
+
+    def _build_round(self, round_no: int) -> nx.Graph:
+        rng = np.random.default_rng([self.seed, round_no])
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        if round_no == 0:
+            for u, v in self._pairs():
+                if rng.random() < self.initial_p:
+                    graph.add_edge(u, v)
+        else:
+            previous = self._rounds[round_no - 1]
+            for u, v in self._pairs():
+                if previous.has_edge(u, v):
+                    if rng.random() >= self.p_down:
+                        graph.add_edge(u, v)
+                elif rng.random() < self.p_up:
+                    graph.add_edge(u, v)
+        self._repair_connectivity(graph, rng)
+        return graph
+
+    def at(self, round_no: int) -> nx.Graph:
+        while len(self._rounds) <= round_no:
+            self._rounds.append(self._build_round(len(self._rounds)))
+        return self._rounds[round_no]
+
+
+def edge_markov_network(
+    n: int,
+    *,
+    p_up: float = 0.05,
+    p_down: float = 0.3,
+    initial_p: float = 0.2,
+    seed: int = 0,
+) -> DynamicGraph:
+    """An edge-Markov dynamic graph as a :class:`DynamicGraph`."""
+    chain = EdgeMarkovDynamicGraph(
+        n, p_up=p_up, p_down=p_down, initial_p=initial_p, seed=seed
+    )
+    return DynamicGraph(
+        n, chain.at, name=f"edge-markov(n={n}, seed={seed})"
+    )

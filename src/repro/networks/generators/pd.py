@@ -1,0 +1,91 @@
+"""Random layered ``G(PD)_h`` dynamic networks.
+
+A ``G(PD)_h`` graph partitions nodes into layers ``V_0 = {leader},
+V_1, ..., V_h`` by persistent distance (Section 3).  Distances stay
+persistent across arbitrary rewiring as long as
+
+* every edge joins nodes in the same layer or in adjacent layers, and
+* every node in layer ``i >= 1`` keeps at least one edge into layer
+  ``i - 1``.
+
+The generator below rewires the graph randomly every round under exactly
+those constraints, which makes it a *fair* adversary over the ``G(PD)_h``
+family.  Rounds are sampled from a per-round seed derived from the
+master seed, so the produced dynamic graph is a pure function of
+``(seed, round)`` and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.networks.dynamic_graph import DynamicGraph
+
+__all__ = ["random_pd_network"]
+
+
+def random_pd_network(
+    layer_sizes: list[int],
+    *,
+    seed: int = 0,
+    extra_edge_p: float = 0.2,
+    intra_layer_p: float = 0.0,
+    name: str | None = None,
+) -> tuple[DynamicGraph, list[list[int]]]:
+    """Generate a random ``G(PD)_h`` dynamic graph.
+
+    Args:
+        layer_sizes: Sizes of layers ``V_1..V_h`` (``h = len(layer_sizes)``);
+            every entry must be positive.  ``V_0`` is the leader, node 0.
+        seed: Master seed; each round is an independent sample keyed by
+            ``(seed, round)``.
+        extra_edge_p: Probability of each optional extra edge between
+            adjacent layers (beyond the mandatory one per node).
+        intra_layer_p: Probability of each optional intra-layer edge.
+            The paper's *restricted* model (Discussion, Section 4.2)
+            corresponds to ``intra_layer_p = 0``.
+        name: Optional description.
+
+    Returns:
+        ``(graph, layers)`` where ``layers[i]`` lists the node indices of
+        ``V_i`` (``layers[0] == [0]``).
+    """
+    if not layer_sizes:
+        raise ValueError("need at least one layer")
+    if any(size < 1 for size in layer_sizes):
+        raise ValueError("every layer must have at least one node")
+    if not 0.0 <= extra_edge_p <= 1.0 or not 0.0 <= intra_layer_p <= 1.0:
+        raise ValueError("probabilities must be in [0, 1]")
+
+    layers: list[list[int]] = [[0]]
+    next_index = 1
+    for size in layer_sizes:
+        layers.append(list(range(next_index, next_index + size)))
+        next_index += size
+    n = next_index
+
+    def provider(round_no: int) -> nx.Graph:
+        rng = np.random.default_rng([seed, round_no])
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for depth in range(1, len(layers)):
+            above = layers[depth - 1]
+            current = layers[depth]
+            for node in current:
+                # Mandatory edge keeping the persistent distance exact.
+                graph.add_edge(node, above[int(rng.integers(len(above)))])
+            if extra_edge_p > 0.0:
+                for node in current:
+                    for parent in above:
+                        if rng.random() < extra_edge_p:
+                            graph.add_edge(node, parent)
+            if intra_layer_p > 0.0:
+                for i, node in enumerate(current):
+                    for other in current[i + 1 :]:
+                        if rng.random() < intra_layer_p:
+                            graph.add_edge(node, other)
+        return graph
+
+    label = name if name is not None else f"pd{len(layer_sizes)}({layer_sizes})"
+    return DynamicGraph(n, provider, name=label), layers

@@ -1,0 +1,80 @@
+"""Fair (non-worst-case) dynamic network adversaries.
+
+The paper contrasts the worst-case adversary with a *fair* one that
+"creates or removes edges ... following a strategy that does not aim to
+violate the correctness of the distributed algorithm (e.g., random
+strategy)" -- the typical behaviour of peer-to-peer overlays.  These
+generators produce 1-interval-connected random dynamics used by the
+baseline experiments (gossip size estimation, ID-based counting).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.networks.dynamic_graph import DynamicGraph
+
+__all__ = ["random_connected_graph", "RandomConnectedAdversary"]
+
+
+def random_connected_graph(
+    n: int, rng: np.random.Generator, *, extra_edge_p: float = 0.1
+) -> nx.Graph:
+    """Sample a connected graph: a uniform random tree plus noise edges.
+
+    The tree guarantees connectivity (1-interval connectivity must hold
+    round by round); every non-tree pair is added independently with
+    probability ``extra_edge_p``.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    if n == 1:
+        return graph
+    # Uniform random labeled tree via a random attachment permutation:
+    # attach each node (in random order) to a uniformly chosen earlier one.
+    order = rng.permutation(n)
+    for position in range(1, n):
+        parent = order[int(rng.integers(position))]
+        graph.add_edge(int(order[position]), int(parent))
+    if extra_edge_p > 0.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not graph.has_edge(u, v) and rng.random() < extra_edge_p:
+                    graph.add_edge(u, v)
+    return graph
+
+
+class RandomConnectedAdversary:
+    """A fair adversary producing a fresh random connected graph per round.
+
+    Usable both as an engine topology provider and as a
+    :class:`repro.networks.DynamicGraph` factory (:meth:`as_dynamic_graph`).
+    Rounds are keyed by ``(seed, round)`` so executions are reproducible.
+    """
+
+    def __init__(self, n: int, *, seed: int = 0, extra_edge_p: float = 0.1) -> None:
+        if n < 1:
+            raise ValueError("need at least one node")
+        if not 0.0 <= extra_edge_p <= 1.0:
+            raise ValueError("extra_edge_p must be in [0, 1]")
+        self.n = n
+        self.seed = seed
+        self.extra_edge_p = extra_edge_p
+
+    def graph(self, round_no: int, processes: object = None) -> nx.Graph:
+        """Topology-provider interface: the round's random graph."""
+        rng = np.random.default_rng([self.seed, round_no])
+        return random_connected_graph(
+            self.n, rng, extra_edge_p=self.extra_edge_p
+        )
+
+    def as_dynamic_graph(self) -> DynamicGraph:
+        """Wrap this adversary as a cached :class:`DynamicGraph`."""
+        return DynamicGraph(
+            self.n,
+            lambda round_no: self.graph(round_no),
+            name=f"random-connected(n={self.n}, seed={self.seed})",
+        )

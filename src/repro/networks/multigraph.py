@@ -1,0 +1,207 @@
+"""Dynamic bipartite labeled multigraphs -- the ``M(DBL)_k`` family.
+
+Section 4.1 of the paper: a dynamic multigraph
+``M = ∪_r ({v_l} ∪ W, E(r), f_r, l_r)`` where every node ``v ∈ W`` is
+joined to the leader ``v_l`` by between 1 and ``k`` parallel edges, and
+edges sharing an endpoint in ``W`` carry pairwise distinct labels from
+``{1..k}``.  A round of ``M`` is therefore fully described by one label
+set per ``W`` node, so an instance is just a per-node *schedule* of label
+sets -- which is also exactly the shape of a worst-case adversary's
+strategy.
+
+:class:`DynamicMultigraph` stores such schedules, serves as the
+:class:`repro.simulation.labeled.LabelSetProvider` for the labeled
+engine, and produces the ground-truth leader observations
+(:class:`repro.core.states.ObservationSequence`) that the solver and the
+lower-bound experiments consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.states import (
+    ObservationSequence,
+    all_label_sets,
+    leader_observation,
+    validate_label_set,
+)
+from repro.simulation.errors import ModelError, TopologyError
+
+__all__ = ["DynamicMultigraph"]
+
+_EXTEND_RULES = ("full", "hold", "strict")
+
+
+class DynamicMultigraph:
+    """An ``M(DBL)_k`` instance defined by per-node label schedules.
+
+    Args:
+        k: Maximum number of parallel edges per ``W`` node.
+        schedules: For each node of ``W``, the finite prefix of its label
+            set history: ``schedules[v][r]`` is ``L(v, r)``.  All
+            prefixes must have equal length (possibly zero).
+        extend: Label sets for rounds past the prefix -- ``"full"``
+            (default) connects every node by all ``k`` edges (the
+            "everything visible" continuation used after an adversary's
+            ambiguity horizon), ``"hold"`` repeats the last round,
+            ``"strict"`` raises on access past the prefix.
+        name: Optional description for reports.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        schedules: Sequence[Sequence[frozenset]],
+        *,
+        extend: str = "full",
+        name: str = "mdbl",
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if extend not in _EXTEND_RULES:
+            raise ValueError(f"extend must be one of {_EXTEND_RULES}")
+        self.k = k
+        self.extend = extend
+        self.name = name
+        self._schedules: list[list[frozenset]] = []
+        lengths = {len(schedule) for schedule in schedules}
+        if len(lengths) > 1:
+            raise ModelError(
+                f"all schedules must have equal length, got lengths {lengths}"
+            )
+        self.prefix_rounds = lengths.pop() if lengths else 0
+        if extend == "hold" and self.prefix_rounds == 0:
+            raise ModelError("extend='hold' requires a non-empty prefix")
+        for node, schedule in enumerate(schedules):
+            validated = [
+                validate_label_set(frozenset(labels), k) for labels in schedule
+            ]
+            self._schedules.append(validated)
+        if not self._schedules:
+            raise ModelError("W must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_solution(
+        cls,
+        k: int,
+        counts: Mapping[tuple, int],
+        *,
+        extend: str = "full",
+        name: str = "mdbl-from-solution",
+    ) -> "DynamicMultigraph":
+        """Build an instance from a configuration/solution vector.
+
+        ``counts`` maps a full history (tuple of label sets, all of one
+        common length) to the number of ``W`` nodes following it -- the
+        combinatorial meaning of the paper's solution vectors ``s_r``.
+        """
+        lengths = {len(history) for history in counts}
+        if len(lengths) > 1:
+            raise ModelError(f"histories must share one length, got {lengths}")
+        schedules: list[list[frozenset]] = []
+        for history in sorted(
+            counts, key=lambda hist: [sorted(labels) for labels in hist]
+        ):
+            multiplicity = counts[history]
+            if multiplicity < 0:
+                raise ModelError(
+                    f"negative multiplicity {multiplicity} for {history!r}"
+                )
+            validated = [
+                validate_label_set(frozenset(labels), k) for labels in history
+            ]
+            schedules.extend([list(validated)] * multiplicity)
+        return cls(k, schedules, extend=extend, name=name)
+
+    @classmethod
+    def random(
+        cls,
+        k: int,
+        n: int,
+        rounds: int,
+        rng: np.random.Generator,
+        *,
+        name: str = "mdbl-random",
+    ) -> "DynamicMultigraph":
+        """Sample a uniform random instance (for fuzzing and fair baselines)."""
+        choices = all_label_sets(k)
+        schedules = [
+            [choices[rng.integers(len(choices))] for _ in range(rounds)]
+            for _ in range(n)
+        ]
+        return cls(k, schedules, name=name)
+
+    # ------------------------------------------------------------------
+    # Round access
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of non-leader nodes, ``|W|``."""
+        return len(self._schedules)
+
+    def labels(self, node: int, round_no: int) -> frozenset:
+        """The label set ``L(node, round_no)``."""
+        schedule = self._schedules[node]
+        if round_no < len(schedule):
+            return schedule[round_no]
+        if self.extend == "full":
+            return frozenset(range(1, self.k + 1))
+        if self.extend == "hold":
+            return schedule[-1]
+        raise TopologyError(
+            f"round {round_no} requested but schedules cover only rounds "
+            f"0..{self.prefix_rounds - 1} (extend='strict')"
+        )
+
+    def label_sets(
+        self, round_no: int, processes: object = None
+    ) -> list[frozenset]:
+        """All nodes' label sets for a round (labeled-engine interface)."""
+        return [self.labels(node, round_no) for node in range(self.n)]
+
+    def history(self, node: int, round_no: int) -> tuple:
+        """The node state ``S(node, round_no)``: label sets of rounds ``< round_no``."""
+        return tuple(self.labels(node, r) for r in range(round_no))
+
+    # ------------------------------------------------------------------
+    # Ground-truth leader views
+    # ------------------------------------------------------------------
+
+    def observation(self, round_no: int) -> Counter:
+        """The leader observation ``C(v_l, round_no)`` of this instance."""
+        return leader_observation(
+            self.label_sets(round_no),
+            (self.history(node, round_no) for node in range(self.n)),
+        )
+
+    def observations(self, rounds: int) -> ObservationSequence:
+        """The leader state after ``rounds`` rounds (observations ``0..rounds-1``)."""
+        sequence = ObservationSequence(self.k)
+        for round_no in range(rounds):
+            sequence.append(self.observation(round_no))
+        return sequence
+
+    def configuration(self, rounds: int) -> Counter:
+        """The multiset of node histories over the first ``rounds`` rounds.
+
+        This is the combinatorial content of the paper's solution vector
+        ``s_{rounds-1}``: it maps each full history of length ``rounds``
+        to the number of nodes following it.
+        """
+        return Counter(self.history(node, rounds) for node in range(self.n))
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicMultigraph(k={self.k}, n={self.n}, "
+            f"prefix_rounds={self.prefix_rounds}, extend={self.extend!r}, "
+            f"name={self.name!r})"
+        )

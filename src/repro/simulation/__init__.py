@@ -1,0 +1,54 @@
+"""Synchronous anonymous message-passing simulation engine.
+
+This package implements the computation model of Di Luna & Baldoni
+(PODC 2015): a finite static set of processes that execute deterministic
+round-based computations and communicate through an *anonymous broadcast*
+primitive over a dynamic communication graph chosen by an adversary.
+
+Every round is divided in a *send phase* -- each process composes one
+broadcast payload -- and a *receive phase* -- each process is delivered
+the payloads broadcast by its current neighbours, with no sender
+information attached.  A process does not learn its degree at round ``r``
+before the receive phase of ``r`` (unless explicitly given a degree
+oracle, see :mod:`repro.core.counting.degree_oracle`).
+
+Main entry points:
+
+* :class:`repro.simulation.engine.SynchronousEngine` -- run a protocol on
+  a dynamic graph.
+* :class:`repro.simulation.labeled.LabeledStarEngine` -- run a protocol on
+  a dynamic bipartite labeled multigraph (the ``M(DBL)_k`` model).
+* :class:`repro.simulation.node.Process` -- base class for protocols.
+"""
+
+from repro.simulation.engine import EngineConfig, SimulationResult, SynchronousEngine
+from repro.simulation.errors import (
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    TerminationError,
+    TopologyError,
+)
+from repro.simulation.labeled import LabeledStarEngine
+from repro.simulation.messages import Inbox, LabeledInbox
+from repro.simulation.node import LeaderAware, Process
+from repro.simulation.trace import RoundRecord, SimulationTrace, TraceLevel
+
+__all__ = [
+    "EngineConfig",
+    "Inbox",
+    "LabeledInbox",
+    "LabeledStarEngine",
+    "LeaderAware",
+    "Process",
+    "ProtocolViolationError",
+    "ReproError",
+    "RoundRecord",
+    "SimulationError",
+    "SimulationResult",
+    "SimulationTrace",
+    "SynchronousEngine",
+    "TerminationError",
+    "TopologyError",
+    "TraceLevel",
+]

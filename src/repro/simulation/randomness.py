@@ -1,0 +1,70 @@
+"""Coin sources: adversary-controlled vs fair randomness.
+
+Footnote 2 of the paper dismisses randomised counting: "Solutions
+exploiting randomness (i.e. tossing coins hoping for different
+outcomes) are not viable, since we assume the source of randomness
+available to processes is governed by the worst case adversary."
+
+This module makes that assumption executable.  A randomised protocol
+draws its bits from a :class:`CoinSource`; the engine experiments can
+then plug in
+
+* :class:`FairCoins` -- every process gets an independent stream (the
+  usual randomised-algorithms model), or
+* :class:`AdversarialCoins` -- the worst-case adversary answers every
+  draw, and its optimal strategy against anonymous processes is
+  simply to answer *identically everywhere*: identical coins plus
+  identical deterministic code means the symmetry that anonymity
+  creates is never broken.
+
+The ``tab-adversarial-randomness`` experiment runs the same randomised
+counting protocol under both sources: near-certain success under fair
+coins, guaranteed failure under adversarial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["CoinSource", "FairCoins", "AdversarialCoins"]
+
+
+@runtime_checkable
+class CoinSource(Protocol):
+    """A stream of bits available to one process."""
+
+    def draw_bits(self, count: int) -> tuple[int, ...]:
+        """Return the next ``count`` bits of this process's stream."""
+        ...
+
+
+class FairCoins:
+    """Independent unbiased coins, seeded per process stream.
+
+    ``stream`` must differ between processes for the coins to be
+    independent -- which is exactly the resource anonymous processes
+    are *not* guaranteed to have; handing each process a distinct
+    stream id is the modelling step the worst-case adversary refuses.
+    """
+
+    def __init__(self, seed: int, stream: int) -> None:
+        self._rng = np.random.default_rng([seed, stream])
+
+    def draw_bits(self, count: int) -> tuple[int, ...]:
+        return tuple(int(bit) for bit in self._rng.integers(0, 2, size=count))
+
+
+class AdversarialCoins:
+    """Worst-case coins: every process receives the same answers.
+
+    The adversary may answer with any fixed function of the draw index;
+    answering all-zeros is already optimal against anonymous processes
+    (any common function preserves symmetry equally well), so that is
+    what this implementation does.  Distinct processes constructed from
+    this class are *indistinguishable by their randomness*.
+    """
+
+    def draw_bits(self, count: int) -> tuple[int, ...]:
+        return (0,) * count

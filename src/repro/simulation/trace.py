@@ -1,0 +1,84 @@
+"""Round-by-round traces of simulation executions.
+
+Traces are the primary debugging and measurement artifact of the engine:
+every round records the communication graph actually used, aggregate
+message statistics, and (at the highest trace level) the full payload
+delivered to every process.  Experiments use traces to measure flood
+completion times and to check model properties post hoc.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+__all__ = ["TraceLevel", "RoundRecord", "SimulationTrace"]
+
+
+class TraceLevel(enum.IntEnum):
+    """How much detail a simulation trace records.
+
+    * ``NONE`` -- record nothing (fastest; used by large sweeps).
+    * ``TOPOLOGY`` -- record the per-round graphs and message counts.
+    * ``FULL`` -- additionally record every delivered payload.
+    """
+
+    NONE = 0
+    TOPOLOGY = 1
+    FULL = 2
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about a single synchronous round."""
+
+    round_no: int
+    graph: nx.Graph | None = None
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    deliveries: dict[int, Any] | None = None
+
+    def __repr__(self) -> str:
+        edges = self.graph.number_of_edges() if self.graph is not None else "?"
+        return (
+            f"RoundRecord(round={self.round_no}, edges={edges}, "
+            f"sent={self.messages_sent}, delivered={self.messages_delivered})"
+        )
+
+
+@dataclass
+class SimulationTrace:
+    """An ordered collection of :class:`RoundRecord` objects."""
+
+    level: TraceLevel = TraceLevel.TOPOLOGY
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, round_no: int) -> RoundRecord:
+        return self.records[round_no]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(self, record: RoundRecord) -> None:
+        """Append a round record (engine-internal)."""
+        self.records.append(record)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds recorded."""
+        return len(self.records)
+
+    @property
+    def total_messages(self) -> int:
+        """Total payload deliveries across all recorded rounds."""
+        return sum(record.messages_delivered for record in self.records)
+
+    def graphs(self) -> list[nx.Graph]:
+        """Return the recorded per-round graphs (``TOPOLOGY`` level or above)."""
+        return [record.graph for record in self.records if record.graph is not None]

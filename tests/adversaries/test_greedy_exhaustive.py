@@ -1,0 +1,65 @@
+"""Tests for the greedy adaptive and exhaustive optimal adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.exhaustive import exhaustive_max_rounds
+from repro.adversaries.greedy import GreedyAmbiguityAdversary, greedy_schedule
+from repro.core.counting.optimal import count_mdbl2_abstract
+from repro.core.lowerbound.bounds import rounds_to_count
+
+
+class TestGreedyAdversary:
+    def test_schedules_are_legal(self):
+        adversary = GreedyAmbiguityAdversary(5)
+        label_sets = adversary.play_round()
+        assert len(label_sets) == 5
+        assert all(labels and labels <= {1, 2} for labels in label_sets)
+
+    def test_width_history_tracks_solver(self):
+        adversary = GreedyAmbiguityAdversary(4)
+        rounds = adversary.play_until_pinned()
+        assert len(adversary.width_history) == rounds
+        assert adversary.width_history[-1] == 0
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 13])
+    def test_never_beats_theory(self, n):
+        adversary = GreedyAmbiguityAdversary(n)
+        assert adversary.play_until_pinned() <= rounds_to_count(n)
+
+    def test_first_round_maximises_width(self):
+        # Max round-0 width is n (all nodes on {1,2}).
+        adversary = GreedyAmbiguityAdversary(6)
+        adversary.play_round()
+        assert adversary.width_history[0] == 6
+
+    def test_greedy_schedule_counts_correctly(self):
+        schedule = greedy_schedule(7)
+        outcome = count_mdbl2_abstract(schedule)
+        assert outcome.count == 7
+
+    def test_coordinate_ascent_path(self):
+        # Force the fallback with a tiny branch cap; results must still
+        # be legal and terminate.
+        adversary = GreedyAmbiguityAdversary(6, branch_cap=2)
+        rounds = adversary.play_until_pinned()
+        assert 1 <= rounds <= rounds_to_count(6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyAmbiguityAdversary(0)
+
+
+class TestExhaustiveAdversary:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_matches_theory_exactly(self, n):
+        assert exhaustive_max_rounds(n) == rounds_to_count(n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exhaustive_max_rounds(0)
+
+    def test_round_cap(self):
+        with pytest.raises(RuntimeError, match="raise max_rounds"):
+            exhaustive_max_rounds(4, max_rounds=1)

@@ -1,0 +1,42 @@
+"""Tests for the fair random label adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.random_fair import RandomLabelAdversary
+from repro.core.counting.optimal import OptimalLeaderProcess, AnonymousStateProcess
+from repro.simulation.labeled import LabeledStarEngine
+
+
+class TestRandomLabelAdversary:
+    def test_valid_label_sets(self):
+        adversary = RandomLabelAdversary(3, 10, seed=2)
+        for round_no in range(5):
+            sets = adversary.label_sets(round_no)
+            assert len(sets) == 10
+            for labels in sets:
+                assert labels
+                assert labels <= frozenset({1, 2, 3})
+
+    def test_reproducible_per_round(self):
+        adversary = RandomLabelAdversary(2, 6, seed=4)
+        assert adversary.label_sets(3) == adversary.label_sets(3)
+
+    def test_varies_across_rounds(self):
+        adversary = RandomLabelAdversary(2, 30, seed=4)
+        assert adversary.label_sets(0) != adversary.label_sets(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomLabelAdversary(0, 5)
+        with pytest.raises(ValueError):
+            RandomLabelAdversary(2, 0)
+
+    def test_drives_labeled_engine(self):
+        n = 12
+        adversary = RandomLabelAdversary(2, n, seed=8)
+        leader = OptimalLeaderProcess()
+        nodes = [AnonymousStateProcess() for _ in range(n)]
+        result = LabeledStarEngine(leader, nodes, adversary, max_rounds=64).run()
+        assert result.leader_output == n

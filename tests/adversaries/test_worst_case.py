@@ -1,0 +1,66 @@
+"""Tests for the worst-case adversary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.worst_case import (
+    max_ambiguity_multigraph,
+    measured_ambiguity_curve,
+    worst_case_pd2_network,
+)
+from repro.core.lowerbound.bounds import ambiguity_horizon, rounds_to_count
+from repro.networks.properties import verify_pd
+
+
+class TestMaxAmbiguityMultigraph:
+    @pytest.mark.parametrize("n", [1, 4, 13, 40, 121])
+    def test_size(self, n):
+        assert max_ambiguity_multigraph(n).n == n
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_ambiguous_exactly_until_horizon(self, n):
+        widths = measured_ambiguity_curve(max_ambiguity_multigraph(n))
+        horizon = ambiguity_horizon(n)
+        # Ambiguous (width > 0) through the horizon, pinned right after.
+        assert all(width > 0 for width in widths[: horizon + 1])
+        assert widths[horizon + 1] == 0
+        assert len(widths) == rounds_to_count(n)
+
+    def test_schedule_prefix_covers_horizon(self):
+        multigraph = max_ambiguity_multigraph(40)
+        assert multigraph.prefix_rounds == ambiguity_horizon(40) + 1
+
+
+class TestWorstCasePD2Network:
+    def test_structure(self):
+        network, layout = worst_case_pd2_network(13)
+        assert layout.n == 16
+        assert network.n == 16
+        verify_pd(network, layout.leader, 2, rounds=4)
+
+    def test_no_intra_layer_edges(self):
+        # The transformation produces the *restricted* PD_2 model, which
+        # is what the degree-oracle comparison requires.
+        network, layout = worst_case_pd2_network(6)
+        graph = network.at(0)
+        middles = set(layout.middle)
+        outers = set(layout.outer)
+        for node in middles:
+            assert not middles & set(graph.neighbors(node))
+        for node in outers:
+            assert not outers & set(graph.neighbors(node))
+
+
+class TestMeasuredAmbiguityCurve:
+    def test_widths_monotone_nonincreasing(self):
+        widths = measured_ambiguity_curve(max_ambiguity_multigraph(121))
+        assert widths == sorted(widths, reverse=True)
+
+    def test_stops_at_zero(self):
+        widths = measured_ambiguity_curve(max_ambiguity_multigraph(5))
+        assert widths[-1] == 0
+        assert all(width > 0 for width in widths[:-1])

@@ -1,0 +1,92 @@
+"""Tests for bandwidth accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.analysis.bandwidth import (
+    measure_engine_bandwidth,
+    measure_labeled_bandwidth,
+    payload_size,
+)
+from repro.core.counting.optimal import (
+    AnonymousStateProcess,
+    OptimalLeaderProcess,
+)
+from repro.core.counting.star import make_star_processes
+from repro.core.counting.token_ids import IdFloodProcess
+from repro.networks.generators.stars import star_network
+
+
+class TestPayloadSize:
+    def test_scalars(self):
+        assert payload_size(7) == 1
+        assert payload_size("beacon") == 1
+        assert payload_size(1.5) == 1
+        assert payload_size(None) == 0
+
+    def test_containers(self):
+        assert payload_size(()) == 1
+        assert payload_size((1, 2)) == 3
+        assert payload_size(frozenset({1, 2})) == 3
+        assert payload_size(((1,), (2, 3))) == 1 + 2 + 3
+
+    def test_nested_history_payload(self):
+        history = (frozenset({1}), frozenset({1, 2}))
+        # tuple + set(2 atoms... 1+1) + set(1+2)
+        assert payload_size(history) == 1 + 2 + 3
+
+    def test_dict(self):
+        assert payload_size({"a": 1}) == 3
+
+
+class TestEngineMetering:
+    def test_star_protocol_traffic(self):
+        processes, leader = make_star_processes(5)
+        sent, delivered = measure_engine_bandwidth(
+            processes, star_network(5), leader=leader, max_rounds=2
+        )
+        # Four spokes send one atom each; leader silent.
+        assert sent == [4]
+        # Each spoke payload is delivered once (to the centre).
+        assert delivered == [4]
+
+    def test_id_flood_traffic_grows(self):
+        network = star_network(6)
+        processes = [IdFloodProcess(index, 3) for index in range(6)]
+        sent, _delivered = measure_engine_bandwidth(
+            processes, network, max_rounds=4
+        )
+        assert sent[1] > sent[0]
+
+    def test_compose_restored_after_metering(self):
+        processes, leader = make_star_processes(4)
+        measure_engine_bandwidth(
+            processes, star_network(4), leader=leader, max_rounds=2
+        )
+        # The wrapper must be removed: compose is the class method again.
+        assert "compose" not in processes[0].__dict__
+
+
+class TestLabeledMetering:
+    def test_optimal_counter_traffic_monotone(self):
+        n = 13
+        traffic = measure_labeled_bandwidth(
+            OptimalLeaderProcess(),
+            [AnonymousStateProcess() for _ in range(n)],
+            max_ambiguity_multigraph(n),
+        )
+        assert len(traffic) >= 3
+        assert traffic == sorted(traffic)
+        assert traffic[-1] > traffic[0]
+
+    def test_round0_traffic_is_empty_states_plus_beacon(self):
+        n = 4
+        traffic = measure_labeled_bandwidth(
+            OptimalLeaderProcess(),
+            [AnonymousStateProcess() for _ in range(n)],
+            max_ambiguity_multigraph(n),
+        )
+        # n empty-state tuples (1 atom each) + 1 beacon atom.
+        assert traffic[0] == n + 1

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, _parse_params
+
+
+class TestParamParsing:
+    def test_literals(self):
+        assert _parse_params(["max_n=50", "sizes=(1, 2)"]) == {
+            "max_n": 50,
+            "sizes": (1, 2),
+        }
+
+    def test_strings_pass_through(self):
+        assert _parse_params(["name=hello"]) == {"name": "hello"}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tab-kernel-structure" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(
+            [
+                "run",
+                "tab-star-pd1",
+                "--param",
+                "sizes=(2, 5)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "tab-nope"])
+
+    def test_report_command(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(["report", str(path), "--experiment", "tab-star-pd1"])
+        assert code == 0
+        assert "tab-star-pd1" in path.read_text()
+        assert "report written" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,122 @@
+"""Tests for the experiment registry and (scaled-down) experiment runs.
+
+Full-size experiment runs live in ``benchmarks/``; here every experiment
+is executed with small parameters so the suite stays fast while still
+exercising each code path end to end, and every check must pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.registry import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_design_experiments_registered(self):
+        expected = {
+            "fig1-pd2-example",
+            "fig2-transformation",
+            "fig3-indistinguishable-r0",
+            "fig4-indistinguishable-r1",
+            "tab-kernel-structure",
+            "tab-ambiguity-horizon",
+            "fig-counting-rounds-vs-n",
+            "tab-corollary1-diameter",
+            "tab-oracle-gap",
+            "tab-star-pd1",
+            "tab-baselines",
+            "tab-general-k",
+            "tab-adaptive-adversary",
+            "tab-adversarial-randomness",
+            "tab-naming-vs-counting",
+            "tab-dynamics-families",
+            "tab-bandwidth",
+            "tab-token-dissemination",
+        }
+        assert set(available_experiments()) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("tab-nonexistent")
+
+    def test_result_render_and_pass(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="T",
+            headers=["a"],
+            rows=[{"a": 1}],
+            checks={"ok": True, "bad": False},
+            notes=["hello"],
+        )
+        assert not result.passed
+        assert result.failed_checks() == ["bad"]
+        rendered = result.render()
+        assert "T" in rendered
+        assert "PASS" in rendered and "FAIL" in rendered
+        assert "note: hello" in rendered
+
+
+SMALL_PARAMS = {
+    "fig1-pd2-example": {},
+    "fig2-transformation": {},
+    "fig3-indistinguishable-r0": {},
+    "fig4-indistinguishable-r1": {},
+    "tab-kernel-structure": {"max_round": 2, "closed_form_rounds": 2},
+    "tab-ambiguity-horizon": {"sizes": (1, 4, 5, 13)},
+    "fig-counting-rounds-vs-n": {
+        "max_n": 60,
+        "per_decade": 3,
+        "fair_seeds": (0,),
+    },
+    "tab-corollary1-diameter": {
+        "sizes": (4, 13),
+        "chain_lengths": (0, 2),
+        "diameter_start_rounds": 2,
+    },
+    "tab-oracle-gap": {"sizes": (4, 13)},
+    "tab-star-pd1": {"sizes": (2, 9)},
+    "tab-baselines": {
+        "id_sizes": (4, 13),
+        "gossip_sizes": (16,),
+        "gossip_rounds": 40,
+    },
+    "tab-general-k": {
+        "ks": (2, 3),
+        "max_round": 1,
+        "twin_n": 4,
+        "random_trials": 2,
+    },
+    "tab-adaptive-adversary": {
+        "sizes": (2, 4, 13),
+        "exhaustive_max_n": 4,
+    },
+    "tab-adversarial-randomness": {"sizes": (4, 13)},
+    "tab-naming-vs-counting": {"star_sizes": (4, 8), "symmetry_depth": 5},
+    "tab-bandwidth": {"sizes": (13, 40)},
+    "tab-token-dissemination": {
+        "sizes": (8, 16),
+        "tokens_per_size": (2,),
+    },
+    "tab-dynamics-families": {
+        "n": 12,
+        "check_rounds": 8,
+        "gossip_rounds": 60,
+    },
+}
+
+
+@pytest.mark.parametrize("experiment", sorted(SMALL_PARAMS))
+def test_experiment_runs_and_all_checks_pass(experiment):
+    result = run_experiment(experiment, **SMALL_PARAMS[experiment])
+    assert result.experiment == experiment
+    assert result.rows
+    assert result.headers
+    assert result.passed, f"failed checks: {result.failed_checks()}"
+    # Every experiment renders without error.
+    assert result.render()

@@ -1,0 +1,111 @@
+"""Tests for table rendering, fitting, and sweep helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import fit_log3
+from repro.analysis.sweep import log_spaced_sizes
+from repro.analysis.tables import format_value, render_table
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        table = render_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], ["a", "b"]
+        )
+        lines = table.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "22" in lines[3]
+
+    def test_header_inference(self):
+        table = render_table([{"col": 5}])
+        assert table.splitlines()[0].startswith("col")
+
+    def test_missing_keys_render_empty(self):
+        table = render_table([{"a": 1}, {"b": 2}], ["a", "b"])
+        assert table  # no KeyError
+
+    def test_title(self):
+        table = render_table([{"a": 1}], title="My table")
+        assert table.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        table = render_table([], ["a"])
+        assert "a" in table
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(1.23456789) == "1.235"
+        assert format_value(7) == "7"
+
+
+class TestFitLog3:
+    def test_perfect_fit(self):
+        sizes = [3, 9, 27, 81]
+        rounds = [2 + 1 * math.log(n, 3) for n in sizes]
+        fit = fit_log3(sizes, rounds)
+        assert fit.slope == pytest.approx(1.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_log3([3, 9], [1.0, 2.0])
+        assert fit.predict(27) == pytest.approx(3.0)
+
+    def test_constant_data(self):
+        fit = fit_log3([3, 9, 27], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_log3([1], [1.0])
+        with pytest.raises(ValueError):
+            fit_log3([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            fit_log3([0, 2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_log3([5, 5], [1.0, 2.0])
+
+    def test_str(self):
+        fit = fit_log3([3, 9, 27], [1.0, 2.0, 3.0])
+        assert "log3" in str(fit)
+
+    @given(
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=0.1, max_value=5),
+    )
+    def test_recovers_exact_coefficients(self, intercept, slope):
+        sizes = [2, 7, 31, 144, 700]
+        rounds = [intercept + slope * math.log(n, 3) for n in sizes]
+        fit = fit_log3(sizes, rounds)
+        assert fit.slope == pytest.approx(slope, abs=1e-8)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-8)
+
+
+class TestLogSpacedSizes:
+    def test_endpoints(self):
+        sizes = log_spaced_sizes(2, 500)
+        assert sizes[0] == 2
+        assert sizes[-1] == 500
+
+    def test_strictly_increasing(self):
+        sizes = log_spaced_sizes(1, 10_000, per_decade=4)
+        assert sizes == sorted(set(sizes))
+
+    def test_density(self):
+        few = log_spaced_sizes(1, 1000, per_decade=2)
+        many = log_spaced_sizes(1, 1000, per_decade=10)
+        assert len(many) > len(few)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_spaced_sizes(0, 5)
+        with pytest.raises(ValueError):
+            log_spaced_sizes(10, 5)

@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.states import all_label_sets
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+def label_set_strategy(k: int = 2) -> st.SearchStrategy:
+    """Strategy drawing one valid ``M(DBL)_k`` label set."""
+    return st.sampled_from(all_label_sets(k))
+
+
+def history_strategy(
+    k: int = 2, min_length: int = 1, max_length: int = 4
+) -> st.SearchStrategy:
+    """Strategy drawing a label-set history (tuple of label sets)."""
+    return st.lists(
+        label_set_strategy(k), min_size=min_length, max_size=max_length
+    ).map(tuple)
+
+
+def schedules_strategy(
+    k: int = 2,
+    min_nodes: int = 1,
+    max_nodes: int = 8,
+    min_rounds: int = 1,
+    max_rounds: int = 4,
+) -> st.SearchStrategy:
+    """Strategy drawing equal-length label schedules for several nodes."""
+
+    def build(draw_lengths):
+        n, rounds = draw_lengths
+        return st.lists(
+            st.lists(
+                label_set_strategy(k), min_size=rounds, max_size=rounds
+            ),
+            min_size=n,
+            max_size=n,
+        )
+
+    return st.tuples(
+        st.integers(min_value=min_nodes, max_value=max_nodes),
+        st.integers(min_value=min_rounds, max_value=max_rounds),
+    ).flatmap(build)

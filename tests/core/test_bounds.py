@@ -1,0 +1,99 @@
+"""Tests for the closed-form round bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lowerbound.bounds import (
+    ambiguity_horizon,
+    corollary1_bound,
+    ilog3,
+    min_output_round,
+    min_sum_negative,
+    rounds_to_count,
+    theorem1_bound,
+)
+
+
+class TestIlog3:
+    def test_small_values(self):
+        assert ilog3(1) == 0
+        assert ilog3(2) == 0
+        assert ilog3(3) == 1
+        assert ilog3(8) == 1
+        assert ilog3(9) == 2
+        assert ilog3(26) == 2
+        assert ilog3(27) == 3
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_matches_float_log(self, x):
+        result = ilog3(x)
+        assert 3**result <= x < 3 ** (result + 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog3(0)
+
+
+class TestAmbiguityHorizon:
+    def test_thresholds(self):
+        # Horizon jumps exactly at n = (3^(r+1) - 1) / 2: 1, 4, 13, 40, ...
+        assert ambiguity_horizon(1) == 0
+        assert ambiguity_horizon(3) == 0
+        assert ambiguity_horizon(4) == 1
+        assert ambiguity_horizon(12) == 1
+        assert ambiguity_horizon(13) == 2
+        assert ambiguity_horizon(39) == 2
+        assert ambiguity_horizon(40) == 3
+        assert ambiguity_horizon(121) == 4
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_definition(self, n):
+        horizon = ambiguity_horizon(n)
+        assert min_sum_negative(horizon) <= n
+        assert min_sum_negative(horizon + 1) > n
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_equals_theorem1_formula(self, n):
+        assert ambiguity_horizon(n) == theorem1_bound(n)
+        # theorem1_bound is the exact-integer form of floor(log3(2n+1)) - 1.
+        bound = theorem1_bound(n)
+        assert 3 ** (bound + 1) <= 2 * n + 1 < 3 ** (bound + 2)
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            ambiguity_horizon(0)
+
+
+class TestDerivedBounds:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_ordering(self, n):
+        assert min_output_round(n) == ambiguity_horizon(n) + 1
+        assert rounds_to_count(n) == ambiguity_horizon(n) + 2
+
+    def test_logarithmic_growth(self):
+        assert rounds_to_count(4) == 3
+        assert rounds_to_count(40) == 5
+        assert rounds_to_count(400) == 7
+        assert rounds_to_count(4000) == 9
+
+    def test_corollary_bound(self):
+        assert corollary1_bound(4, 0) == rounds_to_count(4) + 1
+        assert corollary1_bound(4, 5) == rounds_to_count(4) + 6
+
+    def test_corollary_rejects_negative_chain(self):
+        with pytest.raises(ValueError):
+            corollary1_bound(4, -1)
+
+
+class TestMinSumNegative:
+    def test_values(self):
+        assert [min_sum_negative(r) for r in range(5)] == [1, 4, 13, 40, 121]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            min_sum_negative(-1)

@@ -1,0 +1,107 @@
+"""Unit tests for the Corollary 1 chain-protocol processes."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.counting.chain import (
+    ChainLeaderProcess,
+    ChainOuterProcess,
+    ChainRelayProcess,
+    HubProcess,
+    _encode_multiset,
+    count_chain_pd2,
+)
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.messages import Inbox
+
+ONE = frozenset({1})
+TWO = frozenset({2})
+
+
+class TestEncodeMultiset:
+    def test_deterministic_and_hashable(self):
+        states = Counter({(ONE,): 2, (TWO, ONE): 1})
+        encoded = _encode_multiset(states)
+        assert encoded == _encode_multiset(Counter(dict(states)))
+        hash(encoded)
+
+    def test_roundtrip_through_dict(self):
+        states = Counter({(ONE,): 3})
+        assert Counter(dict(_encode_multiset(states))) == states
+
+
+class TestOuterProcess:
+    def test_learns_hub_labels(self):
+        outer = ChainOuterProcess()
+        outer.deliver(0, Inbox([("hub", 1, frozenset()), ("hub", 2, frozenset())]))
+        outer.deliver(1, Inbox([("hub", 2, frozenset())]))
+        assert outer.state == (frozenset({1, 2}), frozenset({2}))
+
+    def test_broadcasts_state(self):
+        outer = ChainOuterProcess()
+        assert outer.compose(0) == ("state", ())
+
+
+class TestHubProcess:
+    def test_emits_observation_one_round_late(self):
+        hub = HubProcess(1)
+        # Round 0: nothing pending yet.
+        kind, hub_id, fresh = hub.compose(0)
+        assert (kind, hub_id, fresh) == ("hub", 1, frozenset())
+        hub.deliver(0, Inbox([("state", ()), ("state", ())]))
+        _kind, _id, fresh = hub.compose(1)
+        (token,) = fresh
+        assert token[:3] == ("obs", 0, 1)
+        assert Counter(dict(token[3])) == Counter({(): 2})
+
+
+class TestRelayProcess:
+    def test_forwards_each_token_once(self):
+        relay = ChainRelayProcess()
+        token = ("obs", 0, 1, ())
+        relay.deliver(0, Inbox([("hub", 1, frozenset({token}))]))
+        assert relay.compose(1)[2] == frozenset({token})
+        # Hearing the same token again does not re-emit it.
+        relay.deliver(1, Inbox([("hub", 1, frozenset({token}))]))
+        assert relay.compose(2)[2] == frozenset()
+
+
+class TestLeaderReassembly:
+    def test_out_of_order_tokens_absorbed_in_order(self):
+        leader = ChainLeaderProcess()
+        obs0_hub1 = ("obs", 0, 1, _encode_multiset(Counter({(): 1})))
+        obs0_hub2 = ("obs", 0, 2, _encode_multiset(Counter({(): 1})))
+        obs1_hub1 = ("obs", 1, 1, _encode_multiset(Counter({(ONE,): 1})))
+        obs1_hub2 = ("obs", 1, 2, _encode_multiset(Counter({(TWO,): 1})))
+        # Round-1 tokens arrive before round 0 is complete: nothing
+        # absorbed yet.
+        leader.deliver(0, Inbox([("hub", 0, frozenset({obs1_hub1, obs1_hub2}))]))
+        assert leader.observations.rounds == 0
+        # Round-0 tokens complete both rounds at once.
+        leader.deliver(1, Inbox([("hub", 0, frozenset({obs0_hub1, obs0_hub2}))]))
+        assert leader.observations.rounds == 2
+        assert leader.observations.count(0, 1, ()) == 1
+        assert leader.observations.count(1, 2, (TWO,)) == 1
+
+    def test_waits_for_both_hubs(self):
+        leader = ChainLeaderProcess()
+        obs0_hub1 = ("obs", 0, 1, _encode_multiset(Counter({(): 1})))
+        leader.deliver(0, Inbox([("hub", 0, frozenset({obs0_hub1}))]))
+        assert leader.observations.rounds == 0
+
+
+class TestEndToEnd:
+    def test_hold_extension_schedule(self):
+        core = DynamicMultigraph(
+            2, [[ONE], [TWO], [frozenset({1, 2})]], extend="hold"
+        )
+        outcome = count_chain_pd2(core, 1)
+        assert outcome.count == 3
+
+    def test_single_node_core(self):
+        core = DynamicMultigraph(2, [[ONE]])
+        outcome = count_chain_pd2(core, 2)
+        assert outcome.count == 1

@@ -1,0 +1,184 @@
+"""Tests for the general-k matrices, kernels, and set solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lowerbound.general import (
+    embedded_k2_kernel,
+    general_matrix,
+    general_n_columns,
+    general_n_rows,
+    general_nullity,
+    general_nullity_closed_form,
+    min_negative_mass,
+    product_kernel_vector,
+)
+from repro.core.lowerbound.bounds import min_sum_negative
+from repro.core.lowerbound.matrices import build_matrix
+from repro.core.solver import feasible_size_interval
+from repro.core.solver_general import count_mdblk_abstract, feasible_sizes_general
+from repro.core.states import ObservationSequence
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.errors import InfeasibleObservationError
+
+from tests.conftest import schedules_strategy
+
+
+class TestGeneralMatrix:
+    def test_dimensions(self):
+        assert general_n_columns(3, 1) == 49
+        assert general_n_rows(3, 1) == 24
+        assert general_n_columns(2, 2) == 27
+        assert general_n_rows(2, 2) == 26
+
+    @pytest.mark.parametrize("r", range(3))
+    def test_k2_matches_paper_construction(self, r):
+        assert np.array_equal(general_matrix(2, r), build_matrix(r))
+
+    def test_row_sums(self):
+        # Row (j, prefix) at round r' covers 2^(k-1) label sets per free
+        # round position: total ones = 2^(k-1) * (2^k - 1)^(r - r').
+        k, r = 3, 1
+        matrix = general_matrix(k, r)
+        round0_rows = matrix[:3]
+        assert set(round0_rows.sum(axis=1)) == {4 * 7}
+        round1_rows = matrix[3:]
+        assert set(round1_rows.sum(axis=1)) == {4}
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError, match="cap"):
+            general_matrix(4, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            general_matrix(0, 0)
+        with pytest.raises(ValueError):
+            general_n_columns(2, -1)
+
+
+class TestGeneralKernels:
+    @pytest.mark.parametrize("k,r", [(2, 0), (2, 1), (3, 0), (3, 1), (4, 0)])
+    def test_product_vector_in_kernel(self, k, r):
+        matrix = general_matrix(k, r)
+        assert not np.any(matrix @ product_kernel_vector(k, r))
+
+    @pytest.mark.parametrize("k,r", [(2, 1), (3, 0), (3, 1), (4, 0)])
+    def test_embedded_k2_vector_in_kernel(self, k, r):
+        matrix = general_matrix(k, r)
+        assert not np.any(matrix @ embedded_k2_kernel(k, r))
+
+    def test_product_vector_total_is_one(self):
+        for k, r in ((2, 1), (3, 1), (4, 1)):
+            assert int(product_kernel_vector(k, r).sum()) == 1
+
+    def test_embedded_negative_mass_is_k2_value(self):
+        for k in (2, 3, 4):
+            vector = embedded_k2_kernel(k, 1)
+            assert int(-vector[vector < 0].sum()) == min_sum_negative(1)
+
+    def test_k2_product_equals_paper_kernel(self):
+        from repro.core.lowerbound.kernel import closed_form_kernel
+
+        for r in range(3):
+            assert np.array_equal(
+                product_kernel_vector(2, r), closed_form_kernel(r)
+            )
+
+    @pytest.mark.parametrize(
+        "k,r,expected",
+        [(2, 0, 1), (2, 1, 1), (3, 0, 4), (3, 1, 25), (4, 0, 11)],
+    )
+    def test_nullity(self, k, r, expected):
+        assert general_nullity(k, r) == expected
+        assert general_nullity_closed_form(k, r) == expected
+
+
+class TestMinNegativeMass:
+    @pytest.mark.parametrize("k,r", [(2, 0), (2, 1), (3, 0), (3, 1)])
+    def test_matches_k2_closed_form(self, k, r):
+        assert min_negative_mass(k, r) == min_sum_negative(r)
+
+
+class TestGeneralSolver:
+    @given(schedules_strategy(k=2, max_nodes=6, max_rounds=3))
+    @settings(max_examples=40, deadline=None)
+    def test_k2_specialises_to_interval_solver(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        observations = multigraph.observations(multigraph.prefix_rounds)
+        assert feasible_sizes_general(observations) == frozenset(
+            feasible_size_interval(observations)
+        )
+
+    @given(schedules_strategy(k=3, max_nodes=5, max_rounds=3))
+    @settings(max_examples=30, deadline=None)
+    def test_k3_soundness(self, schedules):
+        multigraph = DynamicMultigraph(3, schedules)
+        for rounds in range(1, multigraph.prefix_rounds + 1):
+            sizes = feasible_sizes_general(multigraph.observations(rounds))
+            assert multigraph.n in sizes
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_k3_optimal_counter_correct(self, n, seed):
+        rng = np.random.default_rng(seed)
+        multigraph = DynamicMultigraph.random(3, n, 8, rng)
+        assert count_mdblk_abstract(multigraph).count == n
+
+    def test_needs_a_round(self):
+        with pytest.raises(ValueError):
+            feasible_sizes_general(ObservationSequence(3))
+
+    def test_infeasible_detected(self):
+        observations = ObservationSequence(
+            2, [{(1, ()): 1}, {(1, (frozenset({2}),)): 1}]
+        )
+        with pytest.raises(InfeasibleObservationError):
+            feasible_sizes_general(observations)
+
+    def test_zero_nodes(self):
+        assert feasible_sizes_general(
+            ObservationSequence(3, [{}])
+        ) == frozenset({0})
+
+    def test_k1_trivial(self):
+        # With one label every node shows exactly one edge: the leader
+        # counts immediately.
+        multigraph = DynamicMultigraph(1, [[frozenset({1})]] * 5)
+        sizes = feasible_sizes_general(multigraph.observations(1))
+        assert sizes == frozenset({5})
+
+
+class TestGeneralEngineCounter:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_engine_agrees_with_abstract(self, n, seed):
+        from repro.core.solver_general import count_mdblk
+
+        rng = np.random.default_rng(seed)
+        multigraph = DynamicMultigraph.random(3, n, 6, rng)
+        engine_outcome = count_mdblk(multigraph)
+        abstract_outcome = count_mdblk_abstract(multigraph)
+        assert engine_outcome.count == abstract_outcome.count == n
+        assert engine_outcome.rounds == abstract_outcome.rounds
+        assert (
+            engine_outcome.detail["candidate_counts"]
+            == abstract_outcome.detail["candidate_counts"]
+        )
+
+    def test_k2_engine_path(self):
+        from repro.core.solver_general import count_mdblk
+
+        multigraph = DynamicMultigraph(
+            2, [[frozenset({1})], [frozenset({2})], [frozenset({1, 2})]]
+        )
+        assert count_mdblk(multigraph).count == 3

@@ -1,0 +1,90 @@
+"""Tests for JSON serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.registry import ExperimentResult, run_experiment
+from repro.io import (
+    load_json,
+    multigraph_from_json,
+    multigraph_to_json,
+    observations_from_json,
+    observations_to_json,
+    result_to_json,
+    save_json,
+)
+from repro.networks.multigraph import DynamicMultigraph
+
+from tests.conftest import schedules_strategy
+
+
+class TestMultigraphRoundtrip:
+    @given(schedules_strategy(max_nodes=6, max_rounds=4))
+    @settings(max_examples=30)
+    def test_lossless(self, schedules):
+        original = DynamicMultigraph(2, schedules, name="fuzz")
+        restored = multigraph_from_json(multigraph_to_json(original))
+        assert restored.k == original.k
+        assert restored.n == original.n
+        assert restored.extend == original.extend
+        rounds = original.prefix_rounds
+        assert restored.configuration(rounds) == original.configuration(rounds)
+
+    def test_k3(self):
+        original = DynamicMultigraph.random(
+            3, 5, 3, np.random.default_rng(4), name="k3"
+        )
+        restored = multigraph_from_json(multigraph_to_json(original))
+        assert restored.configuration(3) == original.configuration(3)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a multigraph"):
+            multigraph_from_json({"format": "something-else"})
+
+    def test_file_roundtrip(self, tmp_path):
+        original = DynamicMultigraph.random(
+            2, 4, 2, np.random.default_rng(1)
+        )
+        path = save_json(multigraph_to_json(original), tmp_path / "mg.json")
+        restored = multigraph_from_json(load_json(path))
+        assert restored.configuration(2) == original.configuration(2)
+
+
+class TestObservationsRoundtrip:
+    @given(schedules_strategy(max_nodes=6, max_rounds=3))
+    @settings(max_examples=30)
+    def test_lossless(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        original = multigraph.observations(multigraph.prefix_rounds)
+        restored = observations_from_json(observations_to_json(original))
+        assert restored == original
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not an observations"):
+            observations_from_json({"format": "nope"})
+
+
+class TestResultSerialisation:
+    def test_real_experiment_result(self, tmp_path):
+        result = run_experiment("tab-star-pd1", sizes=(2, 5))
+        document = result_to_json(result)
+        assert document["experiment"] == "tab-star-pd1"
+        assert document["passed"] is True
+        assert len(document["rows"]) == 2
+        # The document is actually JSON-encodable.
+        save_json(document, tmp_path / "result.json")
+        assert load_json(tmp_path / "result.json") == document
+
+    def test_non_json_values_stringified(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="t",
+            headers=["a"],
+            rows=[{"a": frozenset({1})}],
+            checks={},
+        )
+        document = result_to_json(result)
+        assert isinstance(document["rows"][0]["a"], str)

@@ -1,0 +1,121 @@
+"""Tests for kernel vectors and rank certificates (Lemmas 2-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lowerbound.kernel import (
+    closed_form_kernel,
+    kernel_component,
+    modular_rank,
+    nullspace_dimension,
+    recursive_kernel,
+    sum_negative,
+    sum_positive,
+    verify_in_kernel,
+)
+from repro.core.lowerbound.matrices import build_matrix, n_columns
+from repro.core.states import all_histories
+
+from tests.conftest import history_strategy
+
+ONE, TWO, BOTH = frozenset({1}), frozenset({2}), frozenset({1, 2})
+
+
+class TestKernelClosedForm:
+    def test_k0_matches_paper(self):
+        assert closed_form_kernel(0).tolist() == [1, 1, -1]
+
+    def test_k1_matches_paper(self):
+        assert closed_form_kernel(1).tolist() == [1, 1, -1, 1, 1, -1, -1, -1, 1]
+
+    def test_component_sign_rule(self):
+        assert kernel_component((ONE, TWO)) == 1
+        assert kernel_component((BOTH,)) == -1
+        assert kernel_component((BOTH, BOTH)) == 1
+        assert kernel_component((BOTH, ONE, BOTH, BOTH)) == -1
+
+    @given(history_strategy(k=2, max_length=6))
+    def test_component_matches_vector(self, history):
+        r = len(history) - 1
+        kernel = closed_form_kernel(r)
+        index = list(all_histories(2, r + 1)).index(history)
+        assert kernel[index] == kernel_component(history)
+
+    def test_recursion_equals_closed_form(self):
+        for r in range(6):
+            assert np.array_equal(recursive_kernel(r), closed_form_kernel(r))
+
+    def test_length(self):
+        for r in range(6):
+            assert len(closed_form_kernel(r)) == n_columns(r)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            closed_form_kernel(-1)
+
+
+class TestLemma4Sums:
+    @pytest.mark.parametrize("r", range(6))
+    def test_sum_identities(self, r):
+        kernel = closed_form_kernel(r)
+        pos = int(kernel[kernel > 0].sum())
+        neg = int(-kernel[kernel < 0].sum())
+        assert pos == sum_positive(r) == (3 ** (r + 1) + 1) // 2
+        assert neg == sum_negative(r) == (3 ** (r + 1) - 1) // 2
+        assert pos - neg == 1
+
+    def test_min_is_negative_side(self):
+        for r in range(8):
+            assert sum_negative(r) < sum_positive(r)
+
+
+class TestLemma2Kernel:
+    @pytest.mark.parametrize("r", range(4))
+    def test_kernel_vector_annihilated(self, r):
+        assert verify_in_kernel(r)
+
+    @pytest.mark.parametrize("r", range(4))
+    def test_nullity_is_one(self, r):
+        assert nullspace_dimension(r) == 1
+
+    def test_full_row_rank(self):
+        for r in range(3):
+            matrix = build_matrix(r)
+            assert modular_rank(matrix) == matrix.shape[0]
+
+
+class TestModularRank:
+    def test_identity(self):
+        assert modular_rank(np.eye(4, dtype=np.int64)) == 4
+
+    def test_rank_deficient(self):
+        matrix = np.array([[1, 2], [2, 4], [0, 1]])
+        assert modular_rank(matrix) == 2
+
+    def test_zero_matrix(self):
+        assert modular_rank(np.zeros((3, 3), dtype=np.int64)) == 0
+
+    def test_wide_matrix(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]])
+        assert modular_rank(matrix) == 2
+
+    def test_negative_entries(self):
+        matrix = np.array([[1, -1], [-1, 1]])
+        assert modular_rank(matrix) == 1
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30)
+    def test_matches_numpy_rank_on_random_small(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-4, 5, size=(rows, cols))
+        assert modular_rank(matrix) == np.linalg.matrix_rank(
+            matrix.astype(float)
+        )

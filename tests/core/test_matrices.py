@@ -1,0 +1,152 @@
+"""Tests for the explicit M_r matrices (equations (2) and (5))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lowerbound.matrices import (
+    MAX_DENSE_ROUND,
+    build_matrix,
+    configuration_vector,
+    n_columns,
+    n_rows,
+    observation_vector,
+    row_connections,
+    row_index,
+)
+from repro.core.states import all_histories
+from repro.networks.multigraph import DynamicMultigraph
+
+from tests.conftest import schedules_strategy
+
+ONE, TWO, BOTH = frozenset({1}), frozenset({2}), frozenset({1, 2})
+
+# Equation (2) of the paper.
+PAPER_M0 = np.array(
+    [
+        [1, 0, 1],
+        [0, 1, 1],
+    ]
+)
+
+# Equation (5) of the paper.
+PAPER_M1 = np.array(
+    [
+        [1, 1, 1, 0, 0, 0, 1, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1, 1, 1],
+        [1, 0, 1, 0, 0, 0, 0, 0, 0],
+        [0, 0, 0, 1, 0, 1, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 1, 0, 1],
+        [0, 1, 1, 0, 0, 0, 0, 0, 0],
+        [0, 0, 0, 0, 1, 1, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 0, 1, 1],
+    ]
+)
+
+
+class TestDimensions:
+    def test_columns(self):
+        assert [n_columns(r) for r in range(4)] == [3, 9, 27, 81]
+
+    def test_rows(self):
+        assert [n_rows(r) for r in range(4)] == [2, 8, 26, 80]
+
+    def test_rows_is_columns_minus_one(self):
+        for r in range(8):
+            assert n_rows(r) == n_columns(r) - 1
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            n_columns(-1)
+
+
+class TestMatrixConstruction:
+    def test_m0_matches_paper(self):
+        assert np.array_equal(build_matrix(0), PAPER_M0)
+
+    def test_m1_matches_paper(self):
+        assert np.array_equal(build_matrix(1), PAPER_M1)
+
+    def test_shape(self):
+        for r in range(4):
+            assert build_matrix(r).shape == (n_rows(r), n_columns(r))
+
+    def test_entries_are_01(self):
+        matrix = build_matrix(2)
+        assert set(np.unique(matrix)) <= {0, 1}
+
+    def test_trails_of_ones(self):
+        # Row (j, prefix) introduced at round r' has exactly 2 * 3^(r-r')
+        # ones (Section 4.2's "two trails of ones").
+        r = 3
+        matrix = build_matrix(r)
+        for label, prefix in row_connections(r):
+            row = matrix[row_index(label, prefix, r)]
+            assert row.sum() == 2 * 3 ** (r - len(prefix))
+
+    def test_dense_cap(self):
+        with pytest.raises(ValueError, match="capped"):
+            build_matrix(MAX_DENSE_ROUND + 1)
+
+    def test_block_recursion(self):
+        # M_r's first row block is M_{r-1} with each entry expanded into
+        # a length-3 run (the proof structure of Lemma 2).
+        previous, current = build_matrix(1), build_matrix(2)
+        expanded = np.repeat(previous, 3, axis=1)
+        assert np.array_equal(current[: previous.shape[0]], expanded)
+
+
+class TestRowIndexing:
+    def test_row_connections_order_round0(self):
+        assert row_connections(0) == [(1, ()), (2, ())]
+
+    def test_row_connections_order_round1(self):
+        connections = row_connections(1)
+        assert connections[:2] == [(1, ()), (2, ())]
+        assert connections[2] == (1, (ONE,))
+        assert connections[5] == (2, (ONE,))
+
+    def test_row_index_consistency(self):
+        for r in range(3):
+            for expected, (label, prefix) in enumerate(row_connections(r)):
+                assert row_index(label, prefix, r) == expected
+
+    def test_row_index_validation(self):
+        with pytest.raises(ValueError, match="no row"):
+            row_index(1, (ONE, TWO), 1)
+        with pytest.raises(ValueError, match="labels"):
+            row_index(3, (), 1)
+
+
+class TestVectors:
+    def test_configuration_vector_roundtrip(self):
+        counts = {
+            (ONE, BOTH): 2,
+            (BOTH, BOTH): 1,
+        }
+        vector = configuration_vector(counts, 1)
+        assert vector.sum() == 3
+        histories = list(all_histories(2, 2))
+        assert vector[histories.index((ONE, BOTH))] == 2
+
+    def test_configuration_vector_length_check(self):
+        with pytest.raises(ValueError, match="length"):
+            configuration_vector({(ONE,): 1}, 1)
+
+    def test_observation_vector_requires_enough_rounds(self):
+        multigraph = DynamicMultigraph(2, [[ONE]])
+        observations = multigraph.observations(1)
+        with pytest.raises(ValueError, match="rounds"):
+            observation_vector(observations, 1)
+
+    @given(schedules_strategy(max_nodes=6, min_rounds=1, max_rounds=3))
+    @settings(max_examples=40)
+    def test_fundamental_identity_m_equals_Ms(self, schedules):
+        """The defining identity: m_r = M_r s_r for every real execution."""
+        multigraph = DynamicMultigraph(2, schedules)
+        r = multigraph.prefix_rounds - 1
+        s = configuration_vector(multigraph.configuration(r + 1), r)
+        m = observation_vector(multigraph.observations(r + 1), r)
+        assert np.array_equal(build_matrix(r) @ s, m)

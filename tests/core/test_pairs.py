@@ -1,0 +1,95 @@
+"""Tests for indistinguishable twin configurations (Lemma 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lowerbound.bounds import ambiguity_horizon, min_sum_negative
+from repro.core.lowerbound.kernel import kernel_component
+from repro.core.lowerbound.pairs import (
+    paper_figure3_pair,
+    paper_figure4_pair,
+    twin_configurations,
+    twin_multigraphs,
+)
+from repro.core.solver import feasible_size_interval
+
+
+class TestTwinConfigurations:
+    def test_sizes(self):
+        smaller, larger = twin_configurations(1, 6)
+        assert sum(smaller.values()) == 6
+        assert sum(larger.values()) == 7
+
+    def test_kernel_relationship(self):
+        smaller, larger = twin_configurations(1, 5)
+        histories = set(smaller) | set(larger)
+        for history in histories:
+            delta = larger.get(history, 0) - smaller.get(history, 0)
+            assert delta == kernel_component(history)
+
+    def test_smaller_supported_on_negative_components(self):
+        smaller, _larger = twin_configurations(2, 20)
+        assert all(
+            kernel_component(history) < 0 for history in smaller
+        )
+
+    def test_precondition_enforced(self):
+        with pytest.raises(ValueError, match="needs n >="):
+            twin_configurations(2, min_sum_negative(2) - 1)
+
+    def test_minimum_size_accepted(self):
+        smaller, _larger = twin_configurations(2, min_sum_negative(2))
+        assert all(count == 1 for count in smaller.values())
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=30)
+    def test_sizes_property(self, r, extra):
+        n = min_sum_negative(r) + extra
+        smaller, larger = twin_configurations(r, n)
+        assert sum(smaller.values()) == n
+        assert sum(larger.values()) == n + 1
+        assert all(count >= 0 for count in smaller.values())
+        assert all(count >= 0 for count in larger.values())
+
+
+class TestTwinMultigraphs:
+    @pytest.mark.parametrize("n", [4, 5, 13, 40])
+    def test_indistinguishable_through_horizon(self, n):
+        horizon = ambiguity_horizon(n)
+        smaller, larger = twin_multigraphs(horizon, n)
+        assert smaller.observations(horizon + 1) == larger.observations(
+            horizon + 1
+        )
+
+    @pytest.mark.parametrize("n", [4, 13, 40])
+    def test_distinguishable_at_next_round(self, n):
+        horizon = ambiguity_horizon(n)
+        smaller, larger = twin_multigraphs(horizon, n)
+        assert smaller.observations(horizon + 2) != larger.observations(
+            horizon + 2
+        )
+
+    def test_solver_sees_both_sizes(self):
+        smaller, larger = twin_multigraphs(1, 6)
+        interval = feasible_size_interval(smaller.observations(2))
+        assert 6 in interval
+        assert 7 in interval
+
+
+class TestPaperFigures:
+    def test_figure3(self):
+        smaller, larger = paper_figure3_pair()
+        assert (smaller.n, larger.n) == (2, 4)
+        assert smaller.observations(1) == larger.observations(1)
+
+    def test_figure4(self):
+        smaller, larger = paper_figure4_pair()
+        assert (smaller.n, larger.n) == (4, 5)
+        assert smaller.observations(2) == larger.observations(2)
+        assert smaller.observations(3) != larger.observations(3)

@@ -1,0 +1,155 @@
+"""Tests for the exact feasible-size interval solver.
+
+The crucial properties, each checked both on worked examples and by
+hypothesis fuzzing over random executions:
+
+* the interval always contains the true size (soundness);
+* the interval equals the brute-force feasible-size set exactly, and
+  that set is contiguous (completeness + the combinatorial face of
+  Lemma 2);
+* witness extraction returns configurations that regenerate the observed
+  leader state at any feasible size.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.solver import (
+    SizeInterval,
+    feasible_configuration,
+    feasible_size_interval,
+    feasible_size_set_bruteforce,
+)
+from repro.core.states import ObservationSequence
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.errors import InfeasibleObservationError
+
+from tests.conftest import schedules_strategy
+
+ONE, TWO, BOTH = frozenset({1}), frozenset({2}), frozenset({1, 2})
+
+
+class TestSizeInterval:
+    def test_basic(self):
+        interval = SizeInterval(2, 4)
+        assert interval.width == 2
+        assert not interval.is_unique
+        assert 3 in interval
+        assert 5 not in interval
+        assert list(interval) == [2, 3, 4]
+
+    def test_unique(self):
+        assert SizeInterval(7, 7).is_unique
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SizeInterval(3, 2)
+        with pytest.raises(ValueError):
+            SizeInterval(-1, 2)
+
+
+class TestWorkedExamples:
+    def test_figure3_round0(self):
+        # m_0 = [2, 2]: solutions range over sizes {2, 3, 4}.
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 2}])
+        assert feasible_size_interval(observations) == SizeInterval(2, 4)
+
+    def test_single_label_is_unique(self):
+        # All edges labeled 1: every node must be a {1}-node.
+        observations = ObservationSequence(2, [{(1, ()): 5}])
+        assert feasible_size_interval(observations) == SizeInterval(5, 5)
+
+    def test_leader_counts_small_networks_fast(self):
+        # The paper: n <= 3 is countable at round 1 (2 rounds).
+        multigraph = DynamicMultigraph(
+            2, [[BOTH, BOTH], [BOTH, BOTH], [BOTH, BOTH]]
+        )
+        assert feasible_size_interval(multigraph.observations(1)).width > 0
+        assert feasible_size_interval(
+            multigraph.observations(2)
+        ) == SizeInterval(3, 3)
+
+    def test_requires_round(self):
+        with pytest.raises(ValueError, match="at least one"):
+            feasible_size_interval(ObservationSequence(2))
+
+    def test_requires_k2(self):
+        with pytest.raises(ValueError, match="k = 2"):
+            feasible_size_interval(ObservationSequence(3, [{}]))
+
+    def test_infeasible_observations_detected(self):
+        # Round 0 says one {1}-edge; round 1 claims a node whose history
+        # was {2} -- impossible.
+        observations = ObservationSequence(
+            2,
+            [
+                {(1, ()): 1},
+                {(1, (TWO,)): 1},
+            ],
+        )
+        with pytest.raises(InfeasibleObservationError):
+            feasible_size_interval(observations)
+
+    def test_zero_nodes(self):
+        observations = ObservationSequence(2, [{}])
+        assert feasible_size_interval(observations) == SizeInterval(0, 0)
+
+
+class TestAgainstBruteForce:
+    @given(schedules_strategy(max_nodes=6, max_rounds=3))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_equals_bruteforce_set(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        observations = multigraph.observations(multigraph.prefix_rounds)
+        interval = feasible_size_interval(observations)
+        sizes = feasible_size_set_bruteforce(observations)
+        assert sizes == set(interval)
+
+    @given(schedules_strategy(max_nodes=8, max_rounds=4))
+    @settings(max_examples=60, deadline=None)
+    def test_true_size_always_feasible(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        for rounds in range(1, multigraph.prefix_rounds + 1):
+            interval = feasible_size_interval(multigraph.observations(rounds))
+            assert multigraph.n in interval
+
+
+class TestWitnessExtraction:
+    @given(schedules_strategy(max_nodes=6, max_rounds=3))
+    @settings(max_examples=40, deadline=None)
+    def test_witness_regenerates_observations(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        rounds = multigraph.prefix_rounds
+        observations = multigraph.observations(rounds)
+        interval = feasible_size_interval(observations)
+        for size in interval:
+            witness = feasible_configuration(observations, size)
+            assert sum(witness.values()) == size
+            rebuilt = DynamicMultigraph.from_solution(2, witness)
+            assert rebuilt.observations(rounds) == observations
+
+    def test_default_size_is_lower_end(self):
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 2}])
+        witness = feasible_configuration(observations)
+        assert sum(witness.values()) == 2
+        assert witness == Counter({(BOTH,): 2})
+
+    def test_rejects_out_of_interval_size(self):
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 2}])
+        with pytest.raises(InfeasibleObservationError, match="outside"):
+            feasible_configuration(observations, 9)
+
+
+class TestBruteForce:
+    def test_matches_hand_computation(self):
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 1}])
+        # x12 in {0, 1}: sizes 3 and 2.
+        assert feasible_size_set_bruteforce(observations) == {2, 3}
+
+    def test_max_size_filter(self):
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 2}])
+        assert feasible_size_set_bruteforce(observations, max_size=3) == {2, 3}

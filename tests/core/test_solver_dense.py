@@ -1,0 +1,69 @@
+"""Cross-validation of the tree solver against the dense reference solver.
+
+The two implementations share no code beyond the matrix builders, so
+their agreement on fuzzed executions is strong evidence both are
+correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.solver import feasible_size_interval
+from repro.core.solver_dense import feasible_size_interval_dense
+from repro.core.states import ObservationSequence
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.errors import InfeasibleObservationError
+
+from tests.conftest import schedules_strategy
+
+ONE, TWO, BOTH = frozenset({1}), frozenset({2}), frozenset({1, 2})
+
+
+class TestDenseSolver:
+    def test_figure3_interval(self):
+        observations = ObservationSequence(2, [{(1, ()): 2, (2, ()): 2}])
+        assert feasible_size_interval_dense(observations).lo == 2
+        assert feasible_size_interval_dense(observations).hi == 4
+
+    def test_unique_case(self):
+        observations = ObservationSequence(2, [{(1, ()): 5}])
+        interval = feasible_size_interval_dense(observations)
+        assert (interval.lo, interval.hi) == (5, 5)
+
+    def test_infeasible_detected(self):
+        observations = ObservationSequence(
+            2, [{(1, ()): 1}, {(1, (TWO,)): 1}]
+        )
+        with pytest.raises(InfeasibleObservationError):
+            feasible_size_interval_dense(observations)
+
+    def test_round_cap(self):
+        multigraph = DynamicMultigraph(2, [[ONE] * 9])
+        observations = multigraph.observations(9)
+        with pytest.raises(ValueError, match="dense"):
+            feasible_size_interval_dense(observations)
+
+    def test_requires_k2(self):
+        with pytest.raises(ValueError):
+            feasible_size_interval_dense(ObservationSequence(3, [{}]))
+
+    @given(schedules_strategy(max_nodes=7, min_rounds=1, max_rounds=3))
+    @settings(max_examples=80, deadline=None)
+    def test_agrees_with_tree_solver(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        for rounds in range(1, multigraph.prefix_rounds + 1):
+            observations = multigraph.observations(rounds)
+            assert feasible_size_interval_dense(
+                observations
+            ) == feasible_size_interval(observations)
+
+    @given(schedules_strategy(max_nodes=10, min_rounds=4, max_rounds=4))
+    @settings(max_examples=15, deadline=None)
+    def test_agrees_at_round_3(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        observations = multigraph.observations(4)
+        assert feasible_size_interval_dense(
+            observations
+        ) == feasible_size_interval(observations)

@@ -1,0 +1,172 @@
+"""Tests for state histories and leader observations."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.states import (
+    ObservationSequence,
+    all_histories,
+    all_label_sets,
+    history_from_index,
+    history_index,
+    label_set,
+    label_set_index,
+    leader_observation,
+    n_histories,
+    n_label_sets,
+    validate_label_set,
+)
+from repro.simulation.errors import ModelError
+
+from tests.conftest import history_strategy
+
+
+class TestLabelSets:
+    def test_paper_order_for_k2(self):
+        assert all_label_sets(2) == (
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({1, 2}),
+        )
+
+    def test_order_for_k3(self):
+        sets = all_label_sets(3)
+        assert len(sets) == 7
+        assert sets[0] == frozenset({1})
+        assert sets[2] == frozenset({3})
+        assert sets[3] == frozenset({1, 2})
+        assert sets[-1] == frozenset({1, 2, 3})
+
+    def test_count(self):
+        for k in range(1, 6):
+            assert n_label_sets(k) == 2**k - 1
+            assert len(all_label_sets(k)) == 2**k - 1
+
+    def test_index_roundtrip(self):
+        for k in (1, 2, 3):
+            for index, labels in enumerate(all_label_sets(k)):
+                assert label_set_index(labels, k) == index
+
+    def test_invalid_label_set_index(self):
+        with pytest.raises(ModelError):
+            label_set_index(frozenset({9}), 2)
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            validate_label_set(frozenset(), 2)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ModelError, match="subset"):
+            validate_label_set(frozenset({0}), 2)
+        with pytest.raises(ModelError, match="subset"):
+            validate_label_set(frozenset({3}), 2)
+
+    def test_validate_coerces_iterables(self):
+        assert validate_label_set({1, 2}, 2) == frozenset({1, 2})
+
+    def test_label_set_builder(self):
+        assert label_set(2, 1) == frozenset({1, 2})
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            all_label_sets(0)
+
+
+class TestHistories:
+    def test_lexicographic_order_k2(self):
+        histories = list(all_histories(2, 2))
+        assert histories[0] == (frozenset({1}), frozenset({1}))
+        assert histories[1] == (frozenset({1}), frozenset({2}))
+        assert histories[-1] == (frozenset({1, 2}), frozenset({1, 2}))
+        assert len(histories) == 9
+
+    def test_count(self):
+        assert n_histories(2, 3) == 27
+        assert n_histories(3, 2) == 49
+
+    def test_index_matches_enumeration_order(self):
+        for length in (1, 2, 3):
+            for index, history in enumerate(all_histories(2, length)):
+                assert history_index(history, 2) == index
+
+    @given(history_strategy(k=2, max_length=4))
+    def test_index_roundtrip_property(self, history):
+        index = history_index(history, 2)
+        assert history_from_index(index, 2, len(history)) == history
+
+    @given(history_strategy(k=3, max_length=3))
+    def test_index_roundtrip_k3(self, history):
+        index = history_index(history, 3)
+        assert history_from_index(index, 3, len(history)) == history
+
+    def test_from_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            history_from_index(9, 2, 1)
+
+    def test_empty_history_has_index_zero(self):
+        assert history_index((), 2) == 0
+        assert history_from_index(0, 2, 0) == ()
+
+
+class TestLeaderObservation:
+    def test_one_entry_per_edge(self):
+        observation = leader_observation(
+            [frozenset({1, 2}), frozenset({2})],
+            [(), ()],
+        )
+        assert observation == Counter({(1, ()): 1, (2, ()): 2})
+
+    def test_histories_distinguish_entries(self):
+        h1 = (frozenset({1}),)
+        h2 = (frozenset({2}),)
+        observation = leader_observation(
+            [frozenset({1}), frozenset({1})], [h1, h2]
+        )
+        assert observation == Counter({(1, h1): 1, (1, h2): 1})
+
+
+class TestObservationSequence:
+    def test_append_and_access(self):
+        seq = ObservationSequence(2)
+        seq.append({(1, ()): 2, (2, ()): 1})
+        assert seq.rounds == 1
+        assert seq.count(0, 1, ()) == 2
+        assert seq.count(0, 2, ()) == 1
+        assert seq.count(0, 1, (frozenset({1}),)) == 0
+        assert seq.edge_count(0) == 3
+
+    def test_history_length_must_match_round(self):
+        seq = ObservationSequence(2)
+        with pytest.raises(ModelError, match="length"):
+            seq.append({(1, (frozenset({1}),)): 1})
+
+    def test_label_range_validated(self):
+        seq = ObservationSequence(2)
+        with pytest.raises(ModelError, match="label"):
+            seq.append({(3, ()): 1})
+
+    def test_negative_multiplicity_rejected(self):
+        seq = ObservationSequence(2)
+        with pytest.raises(ModelError, match="negative"):
+            seq.append({(1, ()): -1})
+
+    def test_equality(self):
+        seq1 = ObservationSequence(2, [{(1, ()): 1}])
+        seq2 = ObservationSequence(2, [{(1, ()): 1}])
+        seq3 = ObservationSequence(2, [{(2, ()): 1}])
+        assert seq1 == seq2
+        assert seq1 != seq3
+
+    def test_prefix(self):
+        seq = ObservationSequence(2, [{(1, ()): 1}, {(1, (frozenset({1}),)): 1}])
+        assert seq.prefix(1) == ObservationSequence(2, [{(1, ()): 1}])
+        assert seq.prefix(1).rounds == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ObservationSequence(0)

@@ -1,0 +1,151 @@
+"""Cross-module integration tests.
+
+These tie the whole stack together: worst-case schedules built from the
+kernel, lifted through the Lemma 1 transformation, executed through the
+anonymous message-passing engine, solved by the exact interval solver --
+and the measured rounds compared against the closed-form bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries.worst_case import max_ambiguity_multigraph
+from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
+from repro.core.counting.optimal import count_mdbl2, count_mdbl2_abstract
+from repro.core.counting.token_ids import count_with_ids
+from repro.core.lowerbound.bounds import (
+    ambiguity_horizon,
+    min_output_round,
+    rounds_to_count,
+)
+from repro.core.lowerbound.kernel import closed_form_kernel
+from repro.core.lowerbound.matrices import (
+    build_matrix,
+    configuration_vector,
+    observation_vector,
+)
+from repro.core.lowerbound.pairs import twin_multigraphs
+from repro.core.solver import feasible_size_interval
+from repro.networks.multigraph import DynamicMultigraph
+from repro.networks.properties import dynamic_diameter
+from repro.networks.transform import mdbl_to_pd2
+
+from tests.conftest import schedules_strategy
+
+import numpy as np
+
+
+class TestLowerBoundPipeline:
+    """Theorem 1/2 as a full pipeline: adversary -> engine -> solver."""
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_no_early_output_and_tight_termination(self, n):
+        adversary = max_ambiguity_multigraph(n)
+        outcome = count_mdbl2_abstract(adversary)
+        assert outcome.count == n
+        # Theorem 1: no output strictly before min_output_round.
+        assert outcome.output_round >= min_output_round(n)
+        # The optimal algorithm is tight against this adversary.
+        assert outcome.rounds == rounds_to_count(n)
+
+    @pytest.mark.parametrize("n", [4, 13, 40])
+    def test_twin_executions_identical_through_engine(self, n):
+        """Run both twins through the real labeled engine and compare
+        the leader's actual observation sequences."""
+        from repro.core.counting.optimal import (
+            AnonymousStateProcess,
+            OptimalLeaderProcess,
+        )
+        from repro.simulation.labeled import LabeledStarEngine
+
+        horizon = ambiguity_horizon(n)
+        leaders = []
+        for multigraph in twin_multigraphs(horizon, n):
+            leader = OptimalLeaderProcess()
+            nodes = [AnonymousStateProcess() for _ in range(multigraph.n)]
+            LabeledStarEngine(
+                leader,
+                nodes,
+                multigraph,
+                max_rounds=horizon + 1,
+                stop_when="budget",
+            ).run()
+            leaders.append(leader)
+        assert leaders[0].observations == leaders[1].observations
+        # And both leaders' solver intervals still contain both sizes.
+        for leader in leaders:
+            interval = feasible_size_interval(leader.observations)
+            assert n in interval and (n + 1) in interval
+
+
+class TestSolverMatrixConsistency:
+    """The tree solver and the dense matrix view agree."""
+
+    @given(schedules_strategy(max_nodes=6, min_rounds=1, max_rounds=3))
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_shift_preserves_observations(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        r = multigraph.prefix_rounds - 1
+        s = configuration_vector(multigraph.configuration(r + 1), r)
+        kernel = closed_form_kernel(r)
+        shifted = s + kernel
+        if (shifted < 0).any():
+            return  # the shift leaves the non-negative orthant
+        matrix = build_matrix(r)
+        assert np.array_equal(matrix @ s, matrix @ shifted)
+        # The solver must consider both sizes feasible.
+        interval = feasible_size_interval(multigraph.observations(r + 1))
+        assert multigraph.n in interval
+        assert multigraph.n + 1 in interval
+
+    @given(schedules_strategy(max_nodes=5, min_rounds=1, max_rounds=3))
+    @settings(max_examples=30, deadline=None)
+    def test_interval_width_equals_lattice_range(self, schedules):
+        """The solver interval matches the number of kernel steps that
+        stay in the non-negative orthant (kernel dim 1 => the solution
+        set is a segment)."""
+        multigraph = DynamicMultigraph(2, schedules)
+        r = multigraph.prefix_rounds - 1
+        s = configuration_vector(multigraph.configuration(r + 1), r)
+        kernel = closed_form_kernel(r)
+        steps_up = 0
+        while not ((s + (steps_up + 1) * kernel) < 0).any():
+            steps_up += 1
+        steps_down = 0
+        while not ((s - (steps_down + 1) * kernel) < 0).any():
+            steps_down += 1
+        interval = feasible_size_interval(multigraph.observations(r + 1))
+        assert interval.width == steps_up + steps_down
+        assert interval.lo == multigraph.n - steps_down
+        assert interval.hi == multigraph.n + steps_up
+
+
+class TestThreeAlgorithmsOneNetwork:
+    """Oracle, IDs and the anonymous counter on the same dynamics."""
+
+    @pytest.mark.parametrize("n", [4, 13])
+    def test_all_exact_with_expected_costs(self, n):
+        adversary = max_ambiguity_multigraph(n)
+        network, layout = mdbl_to_pd2(adversary)
+
+        anonymous = count_mdbl2(adversary)
+        oracle = count_pd2_with_degree_oracle(network)
+        d = dynamic_diameter(network, start_rounds=2)
+        with_ids = count_with_ids(network, d)
+
+        assert anonymous.count == n
+        assert oracle.count == layout.n == n + 3
+        assert with_ids.count == layout.n
+
+        assert oracle.rounds == 3
+        assert with_ids.rounds == d <= 4
+        assert anonymous.rounds == rounds_to_count(n)
+        # The anonymity cost grows with n while the oracle stays at 3
+        # rounds; at n = 13 the gap is already strict.
+        assert anonymous.rounds >= oracle.rounds
+        if n >= 13:
+            assert anonymous.rounds > oracle.rounds

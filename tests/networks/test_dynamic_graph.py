@@ -1,0 +1,87 @@
+"""Tests for the DynamicGraph abstraction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks.dynamic_graph import DynamicGraph
+from repro.simulation.errors import ModelError, TopologyError
+
+
+def path(n):
+    return nx.path_graph(n)
+
+
+class TestDynamicGraph:
+    def test_provider_access_and_caching(self):
+        calls = []
+
+        def provider(round_no):
+            calls.append(round_no)
+            return path(3)
+
+        graph = DynamicGraph(3, provider)
+        graph.at(0)
+        graph.at(0)
+        graph.at(1)
+        assert calls == [0, 1]
+
+    def test_validates_node_set(self):
+        graph = DynamicGraph(4, lambda r: path(3))
+        with pytest.raises(TopologyError, match="node set"):
+            graph.at(0)
+
+    def test_negative_round_rejected(self):
+        graph = DynamicGraph(3, lambda r: path(3))
+        with pytest.raises(ValueError):
+            graph.at(-1)
+
+    def test_topology_provider_interface(self):
+        graph = DynamicGraph(3, lambda r: path(3))
+        assert graph.graph(0, None).number_of_nodes() == 3
+
+    def test_window(self):
+        graph = DynamicGraph(2, lambda r: path(2))
+        assert len(graph.window(4)) == 4
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            DynamicGraph(0, lambda r: path(1))
+
+
+class TestFromGraphs:
+    def test_hold_extension(self):
+        g0, g1 = path(3), nx.cycle_graph(3)
+        graph = DynamicGraph.from_graphs([g0, g1], extend="hold")
+        assert set(graph.at(5).edges()) == set(g1.edges())
+
+    def test_cycle_extension(self):
+        g0, g1 = path(3), nx.cycle_graph(3)
+        graph = DynamicGraph.from_graphs([g0, g1], extend="cycle")
+        assert set(graph.at(2).edges()) == set(g0.edges())
+        assert set(graph.at(3).edges()) == set(g1.edges())
+
+    def test_strict_extension_raises(self):
+        graph = DynamicGraph.from_graphs([path(3)], extend="strict")
+        graph.at(0)
+        with pytest.raises(TopologyError, match="strict"):
+            graph.at(1)
+
+    def test_snapshots_are_copies(self):
+        original = path(3)
+        graph = DynamicGraph.from_graphs([original])
+        original.add_edge(0, 2)
+        assert not graph.at(0).has_edge(0, 2)
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(ModelError, match="static"):
+            DynamicGraph.from_graphs([path(3), path(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            DynamicGraph.from_graphs([])
+
+    def test_bad_extend_rule(self):
+        with pytest.raises(ValueError):
+            DynamicGraph.from_graphs([path(2)], extend="loop")

@@ -1,0 +1,152 @@
+"""Tests for the M(DBL)_k dynamic multigraph."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.states import leader_observation
+from repro.networks.multigraph import DynamicMultigraph
+from repro.simulation.errors import ModelError, TopologyError
+
+from tests.conftest import schedules_strategy
+
+
+def mdbl(schedules, k=2, **kwargs):
+    return DynamicMultigraph(
+        k, [[frozenset(s) for s in sched] for sched in schedules], **kwargs
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        multigraph = mdbl([[{1}, {1, 2}], [{2}, {2}]])
+        assert multigraph.n == 2
+        assert multigraph.k == 2
+        assert multigraph.prefix_rounds == 2
+
+    def test_rejects_unequal_schedules(self):
+        with pytest.raises(ModelError, match="equal length"):
+            mdbl([[{1}], [{1}, {2}]])
+
+    def test_rejects_empty_w(self):
+        with pytest.raises(ModelError, match="non-empty"):
+            DynamicMultigraph(2, [])
+
+    def test_rejects_invalid_labels(self):
+        with pytest.raises(ModelError):
+            mdbl([[{3}]], k=2)
+        with pytest.raises(ModelError):
+            mdbl([[set()]], k=2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            DynamicMultigraph(0, [[frozenset({1})]])
+
+    def test_hold_needs_prefix(self):
+        with pytest.raises(ModelError, match="non-empty prefix"):
+            DynamicMultigraph(2, [[]], extend="hold")
+
+
+class TestExtension:
+    def test_full_extension(self):
+        multigraph = mdbl([[{1}]], extend="full")
+        assert multigraph.labels(0, 0) == frozenset({1})
+        assert multigraph.labels(0, 1) == frozenset({1, 2})
+
+    def test_hold_extension(self):
+        multigraph = mdbl([[{1}]], extend="hold")
+        assert multigraph.labels(0, 7) == frozenset({1})
+
+    def test_strict_extension_raises(self):
+        multigraph = mdbl([[{1}]], extend="strict")
+        multigraph.labels(0, 0)
+        with pytest.raises(TopologyError, match="strict"):
+            multigraph.labels(0, 1)
+
+
+class TestHistoriesAndObservations:
+    def test_history(self):
+        multigraph = mdbl([[{1}, {2}, {1, 2}]])
+        assert multigraph.history(0, 0) == ()
+        assert multigraph.history(0, 2) == (frozenset({1}), frozenset({2}))
+
+    def test_observation_matches_leader_observation_helper(self):
+        multigraph = mdbl([[{1}, {1, 2}], [{2}, {1}]])
+        expected = leader_observation(
+            multigraph.label_sets(1),
+            [multigraph.history(0, 1), multigraph.history(1, 1)],
+        )
+        assert multigraph.observation(1) == expected
+
+    def test_observation_round0(self):
+        multigraph = mdbl([[{1, 2}], [{2}]])
+        assert multigraph.observation(0) == Counter(
+            {(1, ()): 1, (2, ()): 2}
+        )
+
+    def test_observations_sequence(self):
+        multigraph = mdbl([[{1}, {2}]])
+        seq = multigraph.observations(2)
+        assert seq.rounds == 2
+        assert seq.count(0, 1, ()) == 1
+        assert seq.count(1, 2, (frozenset({1}),)) == 1
+
+    def test_configuration_multiset(self):
+        multigraph = mdbl([[{1}], [{1}], [{2}]])
+        config = multigraph.configuration(1)
+        assert config == Counter(
+            {(frozenset({1}),): 2, (frozenset({2}),): 1}
+        )
+
+    @given(schedules_strategy())
+    @settings(max_examples=30)
+    def test_edge_count_equals_total_labels(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        rounds = multigraph.prefix_rounds
+        for round_no in range(rounds):
+            expected = sum(len(s) for s in multigraph.label_sets(round_no))
+            assert multigraph.observations(rounds).edge_count(round_no) == expected
+
+
+class TestFromSolution:
+    def test_roundtrip_through_configuration(self):
+        counts = Counter(
+            {
+                (frozenset({1}), frozenset({1, 2})): 2,
+                (frozenset({2}), frozenset({2})): 1,
+            }
+        )
+        multigraph = DynamicMultigraph.from_solution(2, counts)
+        assert multigraph.n == 3
+        assert multigraph.configuration(2) == counts
+
+    def test_rejects_mixed_lengths(self):
+        counts = {
+            (frozenset({1}),): 1,
+            (frozenset({1}), frozenset({2})): 1,
+        }
+        with pytest.raises(ModelError, match="one length"):
+            DynamicMultigraph.from_solution(2, counts)
+
+    def test_rejects_negative_multiplicity(self):
+        with pytest.raises(ModelError, match="negative"):
+            DynamicMultigraph.from_solution(2, {(frozenset({1}),): -1})
+
+
+class TestRandom:
+    def test_random_is_reproducible(self):
+        a = DynamicMultigraph.random(2, 5, 4, np.random.default_rng(9))
+        b = DynamicMultigraph.random(2, 5, 4, np.random.default_rng(9))
+        assert a.configuration(4) == b.configuration(4)
+
+    def test_random_respects_k(self):
+        multigraph = DynamicMultigraph.random(3, 10, 3, np.random.default_rng(1))
+        for node in range(10):
+            for round_no in range(3):
+                labels = multigraph.labels(node, round_no)
+                assert labels
+                assert labels <= frozenset({1, 2, 3})

@@ -1,0 +1,89 @@
+"""Tests for the Lemma 1 transformation M(DBL)_k -> G(PD)_2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.networks.multigraph import DynamicMultigraph
+from repro.networks.properties import verify_pd
+from repro.networks.transform import mdbl_to_pd2
+
+from tests.conftest import schedules_strategy
+
+
+class TestLayout:
+    def test_layout_indices(self):
+        multigraph = DynamicMultigraph(3, [[frozenset({1})]] * 2)
+        _graph, layout = mdbl_to_pd2(multigraph)
+        assert layout.leader == 0
+        assert layout.middle == (1, 2, 3)
+        assert layout.outer == (4, 5)
+        assert layout.n == 6
+
+    def test_label_middle_mapping(self):
+        multigraph = DynamicMultigraph(2, [[frozenset({1})]])
+        _graph, layout = mdbl_to_pd2(multigraph)
+        assert layout.middle_for_label(1) == 1
+        assert layout.middle_for_label(2) == 2
+        assert layout.label_for_middle(2) == 2
+
+
+class TestTransformStructure:
+    def test_docstring_example(self):
+        multigraph = DynamicMultigraph(
+            2, [[frozenset({1})], [frozenset({1, 2})]]
+        )
+        graph, _layout = mdbl_to_pd2(multigraph)
+        assert sorted(graph.at(0).edges()) == [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (2, 4),
+        ]
+
+    def test_leader_always_adjacent_to_all_middles(self):
+        multigraph = DynamicMultigraph(2, [[frozenset({1})] * 3])
+        graph, layout = mdbl_to_pd2(multigraph)
+        for round_no in range(3):
+            for middle in layout.middle:
+                assert graph.at(round_no).has_edge(layout.leader, middle)
+
+    @given(schedules_strategy(max_nodes=5, max_rounds=3))
+    @settings(max_examples=25)
+    def test_edges_mirror_labels(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        graph, layout = mdbl_to_pd2(multigraph)
+        for round_no in range(multigraph.prefix_rounds):
+            snapshot = graph.at(round_no)
+            for w, outer in enumerate(layout.outer):
+                neighbours = frozenset(
+                    layout.label_for_middle(m)
+                    for m in snapshot.neighbors(outer)
+                )
+                assert neighbours == multigraph.labels(w, round_no)
+
+    @given(schedules_strategy(max_nodes=5, max_rounds=3))
+    @settings(max_examples=25)
+    def test_image_is_pd2(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        graph, layout = mdbl_to_pd2(multigraph)
+        distances = verify_pd(graph, layout.leader, 2, multigraph.prefix_rounds)
+        assert all(distances[m] == 1 for m in layout.middle)
+        assert all(distances[o] == 2 for o in layout.outer)
+
+    def test_k3_transform(self):
+        multigraph = DynamicMultigraph(
+            3, [[frozenset({1, 3})], [frozenset({2})]]
+        )
+        graph, layout = mdbl_to_pd2(multigraph)
+        snapshot = graph.at(0)
+        assert set(snapshot.neighbors(layout.outer[0])) == {
+            layout.middle_for_label(1),
+            layout.middle_for_label(3),
+        }
+        assert set(snapshot.neighbors(layout.outer[1])) == {
+            layout.middle_for_label(2)
+        }

@@ -1,0 +1,105 @@
+"""Tests for the anonymous inbox containers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.messages import (
+    Inbox,
+    LabeledInbox,
+    canonical_sort_key,
+    ensure_hashable,
+)
+
+
+class TestInbox:
+    def test_iteration_is_content_sorted(self):
+        inbox = Inbox(["b", "a", "c"])
+        assert list(inbox) == ["a", "b", "c"]
+
+    def test_length_and_truthiness(self):
+        assert len(Inbox([1, 2])) == 2
+        assert not Inbox([])
+        assert Inbox([0])  # non-empty inbox is truthy even with falsy payload
+
+    def test_contains(self):
+        assert "x" in Inbox(["x", "y"])
+        assert "z" not in Inbox(["x", "y"])
+
+    def test_multiset_equality_ignores_order(self):
+        assert Inbox([1, 2, 2]) == Inbox([2, 1, 2])
+        assert Inbox([1, 2]) != Inbox([1, 2, 2])
+
+    def test_counts_view(self):
+        assert Inbox(["a", "a", "b"]).counts() == Counter({"a": 2, "b": 1})
+
+    def test_hashable(self):
+        assert hash(Inbox([1, 2])) == hash(Inbox([2, 1]))
+
+    def test_mixed_payload_types_sort_deterministically(self):
+        inbox1 = Inbox([("x", 1), "plain", 3])
+        inbox2 = Inbox([3, "plain", ("x", 1)])
+        assert list(inbox1) == list(inbox2)
+
+    @given(st.lists(st.integers()))
+    def test_order_insensitivity_property(self, payloads):
+        assert Inbox(payloads) == Inbox(list(reversed(payloads)))
+
+    def test_frozenset_payloads_compare_canonically(self):
+        # frozenset repr order is hash-dependent; the canonical key must
+        # not be.
+        inbox1 = Inbox([frozenset({1, 2}), frozenset({3})])
+        inbox2 = Inbox([frozenset({3}), frozenset({2, 1})])
+        assert inbox1 == inbox2
+
+
+class TestLabeledInbox:
+    def test_pairs_sorted_by_label_then_payload(self):
+        inbox = LabeledInbox([(2, "a"), (1, "b"), (1, "a")])
+        assert list(inbox) == [(1, "a"), (1, "b"), (2, "a")]
+
+    def test_labels_multiset(self):
+        inbox = LabeledInbox([(2, "x"), (1, "x"), (2, "y")])
+        assert inbox.labels() == (1, 2, 2)
+
+    def test_payloads(self):
+        inbox = LabeledInbox([(2, "b"), (1, "a")])
+        assert inbox.payloads() == ("a", "b")
+
+    def test_equality_is_multiset(self):
+        assert LabeledInbox([(1, "a"), (2, "b")]) == LabeledInbox(
+            [(2, "b"), (1, "a")]
+        )
+
+    def test_counts(self):
+        inbox = LabeledInbox([(1, "a"), (1, "a")])
+        assert inbox.counts() == Counter({(1, "a"): 2})
+
+
+class TestCanonicalSortKey:
+    def test_nested_structures(self):
+        key1 = canonical_sort_key((frozenset({2, 1}), "x"))
+        key2 = canonical_sort_key((frozenset({1, 2}), "x"))
+        assert key1 == key2
+
+    def test_dict_payloads(self):
+        assert canonical_sort_key({"b": 1, "a": 2}) == canonical_sort_key(
+            {"a": 2, "b": 1}
+        )
+
+    def test_distinct_payloads_distinct_keys(self):
+        assert canonical_sort_key((1, 2)) != canonical_sort_key((2, 1))
+
+
+class TestEnsureHashable:
+    def test_accepts_hashable(self):
+        assert ensure_hashable((1, Fraction(1, 3))) == (1, Fraction(1, 3))
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            ensure_hashable([1, 2])

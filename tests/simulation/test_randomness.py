@@ -1,0 +1,66 @@
+"""Tests for coin sources and randomised counting (footnote 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.worst_case import worst_case_pd2_network
+from repro.core.counting.randomized import count_with_random_ids
+from repro.networks.generators.figures import paper_figure1
+from repro.networks.generators.stars import star_network
+from repro.networks.properties import dynamic_diameter
+from repro.simulation.randomness import AdversarialCoins, CoinSource, FairCoins
+
+
+class TestCoinSources:
+    def test_fair_streams_differ(self):
+        a = FairCoins(1, 0).draw_bits(64)
+        b = FairCoins(1, 1).draw_bits(64)
+        assert a != b
+
+    def test_fair_streams_reproducible(self):
+        assert FairCoins(5, 3).draw_bits(32) == FairCoins(5, 3).draw_bits(32)
+
+    def test_fair_draws_advance(self):
+        coins = FairCoins(1, 0)
+        assert coins.draw_bits(64) != coins.draw_bits(64)
+
+    def test_adversarial_identical_everywhere(self):
+        assert AdversarialCoins().draw_bits(16) == AdversarialCoins().draw_bits(16)
+        assert AdversarialCoins().draw_bits(4) == (0, 0, 0, 0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(FairCoins(0, 0), CoinSource)
+        assert isinstance(AdversarialCoins(), CoinSource)
+
+
+class TestRandomisedCounting:
+    def test_fair_coins_count_correctly(self):
+        star = star_network(9)
+        outcome = count_with_random_ids(star, 2, coins="fair", seed=3)
+        assert outcome.count == 9
+
+    def test_adversarial_coins_always_see_one(self):
+        for n in (4, 13):
+            network, _layout = worst_case_pd2_network(n)
+            horizon = dynamic_diameter(network, start_rounds=2)
+            outcome = count_with_random_ids(
+                network, horizon, coins="adversarial"
+            )
+            assert outcome.count == 1
+
+    def test_fair_coins_on_dynamic_figure1(self):
+        figure = paper_figure1()
+        horizon = dynamic_diameter(figure.graph, start_rounds=3)
+        outcome = count_with_random_ids(
+            figure.graph, horizon, coins="fair", seed=1
+        )
+        assert outcome.count == figure.graph.n
+
+    def test_invalid_coins(self):
+        with pytest.raises(ValueError, match="fair"):
+            count_with_random_ids(star_network(3), 2, coins="quantum")
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            count_with_random_ids(star_network(3), 0)

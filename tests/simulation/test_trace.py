@@ -1,0 +1,67 @@
+"""Tests for simulation traces."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.simulation.trace import RoundRecord, SimulationTrace, TraceLevel
+
+
+class TestTraceLevel:
+    def test_ordering(self):
+        assert TraceLevel.NONE < TraceLevel.TOPOLOGY < TraceLevel.FULL
+
+
+class TestRoundRecord:
+    def test_repr_with_graph(self):
+        record = RoundRecord(
+            round_no=3,
+            graph=nx.path_graph(3),
+            messages_sent=2,
+            messages_delivered=4,
+        )
+        text = repr(record)
+        assert "round=3" in text
+        assert "edges=2" in text
+        assert "delivered=4" in text
+
+    def test_repr_without_graph(self):
+        assert "edges=?" in repr(RoundRecord(round_no=0))
+
+
+class TestSimulationTrace:
+    def _trace(self):
+        trace = SimulationTrace(level=TraceLevel.TOPOLOGY)
+        for round_no in range(3):
+            trace.append(
+                RoundRecord(
+                    round_no=round_no,
+                    graph=nx.path_graph(2),
+                    messages_sent=1,
+                    messages_delivered=round_no,
+                )
+            )
+        return trace
+
+    def test_length_and_indexing(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert trace.rounds == 3
+        assert trace[1].round_no == 1
+
+    def test_iteration(self):
+        assert [record.round_no for record in self._trace()] == [0, 1, 2]
+
+    def test_total_messages(self):
+        assert self._trace().total_messages == 0 + 1 + 2
+
+    def test_graphs(self):
+        graphs = self._trace().graphs()
+        assert len(graphs) == 3
+        assert all(graph.number_of_edges() == 1 for graph in graphs)
+
+    def test_empty_trace(self):
+        trace = SimulationTrace()
+        assert trace.rounds == 0
+        assert trace.total_messages == 0
+        assert trace.graphs() == []
