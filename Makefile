@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report examples all
+.PHONY: install test check bench experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 gate: the full test suite plus CLI smoke runs exercising the
+# sparse backend and the parallel experiment runner.
+check:
+	$(PYTHON) -m pytest -x -q tests/
+	$(PYTHON) -m repro run tab-kernel-structure
+	$(PYTHON) -m repro all --jobs 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -47,6 +47,13 @@ def fit_log3(sizes: Sequence[int], rounds: Sequence[float]) -> LogFit:
     Returns:
         The :class:`LogFit`; ``r_squared`` is 1.0 for a perfect fit and
         is reported as 1.0 when the data has zero variance.
+
+    Raises:
+        ValueError: Mismatched lengths, fewer than two points,
+            non-positive sizes, or all sizes equal -- zero variance in
+            ``log_3 n`` leaves the slope undefined (a division by zero
+            in the normal equations), so the degenerate sweep is
+            rejected up front instead of crashing mid-fit.
     """
     if len(sizes) != len(rounds):
         raise ValueError("sizes and rounds must have equal length")
@@ -57,7 +64,10 @@ def fit_log3(sizes: Sequence[int], rounds: Sequence[float]) -> LogFit:
     x = np.log(np.asarray(sizes, dtype=float)) / np.log(3.0)
     y = np.asarray(rounds, dtype=float)
     if np.allclose(x, x[0]):
-        raise ValueError("need at least two distinct sizes")
+        raise ValueError(
+            f"all sizes equal ({sizes[0]}): zero variance in log_3 n "
+            "makes the slope undefined; need at least two distinct sizes"
+        )
     slope, intercept = np.polyfit(x, y, 1)
     predicted = intercept + slope * x
     total = float(np.sum((y - y.mean()) ** 2))

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.analysis.tables import render_table
+from repro.analysis.tables import format_value, render_table
 
 __all__ = [
     "ExperimentResult",
@@ -68,6 +68,43 @@ class ExperimentResult:
                 for name, ok in self.checks.items()
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable dict (the result-cache wire format).
+
+        Cell values that are not JSON-native scalars are rendered
+        through :func:`repro.analysis.tables.format_value`, so a reload
+        renders the identical table.
+        """
+
+        def cell(value: Any) -> Any:
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            return format_value(value)
+
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [
+                {key: cell(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+            "checks": dict(self.checks),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[dict(row) for row in payload["rows"]],
+            checks=dict(payload["checks"]),
+            notes=list(payload["notes"]),
+        )
 
 
 def _build_registry() -> dict[str, Callable[..., ExperimentResult]]:

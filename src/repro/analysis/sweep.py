@@ -12,9 +12,19 @@ def log_spaced_sizes(
 
     Used for the rounds-vs-n sweeps, where sizes should cover several
     powers of 3 without wasting work on near-duplicates.
+
+    Raises:
+        ValueError: ``lo``/``hi`` out of order, or ``per_decade < 1``
+            (a non-positive density would make the growth ratio <= 1
+            and the sweep would never terminate).
     """
     if lo < 1 or hi < lo:
         raise ValueError("need 1 <= lo <= hi")
+    if per_decade < 1:
+        raise ValueError(
+            f"per_decade must be >= 1 (got {per_decade}): fewer than one "
+            "size per decade has growth ratio <= 1 and never reaches hi"
+        )
     sizes: list[int] = []
     value = float(lo)
     ratio = 10.0 ** (1.0 / per_decade)

@@ -6,6 +6,7 @@ Usage::
     python -m repro run tab-kernel-structure
     python -m repro run fig-counting-rounds-vs-n --param max_n=200
     python -m repro all
+    python -m repro all --jobs 4 --cache-dir .repro-cache
     python -m repro report out/report.md
 
 Parameters given as ``--param name=value`` are parsed as Python literals
@@ -56,7 +57,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="override an experiment parameter (repeatable)",
     )
-    commands.add_parser("all", help="run every experiment")
+    run_all = commands.add_parser("all", help="run every experiment")
+    run_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments over N worker processes (default: serial)",
+    )
+    run_all.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache results as JSON under PATH, keyed by (experiment, "
+            "params); cached experiments are not re-run"
+        ),
+    )
     report = commands.add_parser(
         "report", help="run every experiment and write a Markdown report"
     )
@@ -88,9 +105,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {path}")
         return 0
     # command == "all"
+    from repro.analysis.parallel import ResultCache, run_experiments
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
     all_passed = True
-    for experiment in available_experiments():
-        result = run_experiment(experiment)
+    for result in run_experiments(jobs=args.jobs, cache=cache):
         print(result.render())
         print()
         all_passed &= result.passed

@@ -13,6 +13,10 @@ This package makes Section 4.2 of the paper executable:
   :class:`repro.networks.DynamicMultigraph` instances.
 * :mod:`repro.core.lowerbound.bounds` -- the closed-form round bounds of
   Theorem 1 / Theorem 2 / Corollary 1.
+* :mod:`repro.core.lowerbound.sparse` -- the scale backend: ``M_r`` in
+  CSR form built straight from the trail structure, with exact sparse
+  kernel and rank certificates up to ``MAX_SPARSE_ROUND`` (far past the
+  dense cap).
 """
 
 from repro.core.lowerbound.bounds import (
@@ -46,10 +50,19 @@ from repro.core.lowerbound.pairs import (
     twin_configurations,
     twin_multigraphs,
 )
+from repro.core.lowerbound.sparse import (
+    MAX_SPARSE_ROUND,
+    build_sparse_matrix,
+    sparse_nullspace_dimension,
+    sparse_rank,
+    verify_in_kernel_sparse,
+)
 
 __all__ = [
+    "MAX_SPARSE_ROUND",
     "ambiguity_horizon",
     "build_matrix",
+    "build_sparse_matrix",
     "closed_form_kernel",
     "configuration_vector",
     "corollary1_bound",
@@ -66,9 +79,12 @@ __all__ = [
     "paper_figure4_pair",
     "row_connections",
     "rounds_to_count",
+    "sparse_nullspace_dimension",
+    "sparse_rank",
     "sum_negative",
     "sum_positive",
     "theorem1_bound",
     "twin_configurations",
     "twin_multigraphs",
+    "verify_in_kernel_sparse",
 ]

@@ -137,11 +137,12 @@ def observation_vector(observations: ObservationSequence, r: int) -> np.ndarray:
         raise ValueError(
             f"need observations for rounds 0..{r}, got {observations.rounds}"
         )
+    # Only observed connections are written: a real execution touches
+    # O(n·r) states, far fewer than the 3^{r+1}-1 rows at large r.
     vector = np.zeros(n_rows(r), dtype=np.int64)
-    for label, prefix in row_connections(r):
-        vector[row_index(label, prefix, r)] = observations.count(
-            len(prefix), label, prefix
-        )
+    for round_no in range(r + 1):
+        for (label, history), count in observations[round_no].items():
+            vector[row_index(label, history, r)] = count
     return vector
 
 

@@ -38,7 +38,7 @@ from repro.core.solver import SizeInterval
 from repro.core.states import ObservationSequence
 from repro.simulation.errors import InfeasibleObservationError
 
-__all__ = ["feasible_size_interval_dense"]
+__all__ = ["feasible_size_interval_dense", "feasible_size_interval_sparse"]
 
 _TOL = 1e-7
 
@@ -84,9 +84,62 @@ def feasible_size_interval_dense(
             "observations are inconsistent: the linear system has no "
             "real solution"
         )
+    return _lattice_interval(solution, closed_form_kernel(r).astype(float))
 
-    kernel = closed_form_kernel(r).astype(float)
 
+def feasible_size_interval_sparse(
+    observations: ObservationSequence,
+) -> SizeInterval:
+    """Feasible sizes via the sparse ``m_r = M_r s`` system (LSQR).
+
+    The sparse sibling of :func:`feasible_size_interval_dense`: solves
+    the same linear system with
+    :func:`repro.core.lowerbound.sparse.build_sparse_matrix` and
+    :func:`scipy.sparse.linalg.lsqr`, extending the cross-validation
+    path past ``MAX_DENSE_ROUND`` (up to ``MAX_SPARSE_ROUND``).  The
+    lattice step is shared with the dense solver, and any real solution
+    of the consistent system works for it -- LSQR's iterate qualifies
+    once the residual check passes.
+    """
+    from scipy.sparse.linalg import lsqr
+
+    from repro.core.lowerbound.sparse import (
+        MAX_SPARSE_ROUND,
+        build_sparse_matrix,
+        sparse_observation_vector,
+    )
+
+    if observations.k != 2:
+        raise ValueError("the sparse reference solver handles M(DBL)_2")
+    if observations.rounds < 1:
+        raise ValueError("need at least one observed round")
+    r = observations.rounds - 1
+    if r > MAX_SPARSE_ROUND:
+        raise ValueError(
+            f"sparse solving at round {r} would need a 3^{r + 1}-column "
+            f"matrix; use the tree solver instead"
+        )
+
+    matrix = build_sparse_matrix(r).astype(float)
+    target = sparse_observation_vector(observations, r).astype(float)
+    solution = lsqr(matrix, target, atol=1e-12, btol=1e-12, conlim=0.0)[0]
+    if not np.allclose(matrix @ solution, target, atol=_TOL):
+        raise InfeasibleObservationError(
+            "observations are inconsistent: the linear system has no "
+            "real solution"
+        )
+    return _lattice_interval(solution, closed_form_kernel(r).astype(float))
+
+
+def _lattice_interval(
+    solution: np.ndarray, kernel: np.ndarray
+) -> SizeInterval:
+    """Steps 3-4 of the module docstring, shared by both backends.
+
+    Given any real solution ``s*`` and the kernel ``k_r``, pins the
+    fractional part of ``t``, bounds it by non-negativity, and maps the
+    surviving lattice points to sizes.
+    """
     # Integer lattice: t must satisfy t ≡ -(k_r)_j (s*)_j (mod 1) for
     # every component j; all requirements must agree on frac(t).
     requirements = np.mod(-kernel * solution, 1.0)
@@ -99,12 +152,9 @@ def feasible_size_interval_dense(
         )
 
     # Non-negativity: (s*)_j + t (k_r)_j >= 0 bounds t on both sides.
-    lo_t, hi_t = -math.inf, math.inf
-    for value, sign in zip(solution, kernel):
-        if sign > 0:
-            lo_t = max(lo_t, -value)
-        else:
-            hi_t = min(hi_t, value)
+    positive = kernel > 0
+    lo_t = float(np.max(-solution[positive], initial=-math.inf))
+    hi_t = float(np.min(solution[~positive], initial=math.inf))
 
     first = math.ceil(lo_t - fraction - 1e-5)
     last = math.floor(hi_t - fraction + 1e-5)

@@ -209,6 +209,14 @@ class SynchronousEngine:
                 f"round {round_no}: graph nodes {sorted(graph.nodes)[:10]}... "
                 f"do not match process indices 0..{len(expected_nodes) - 1}"
             )
+        # A self-loop would deliver a node its own broadcast -- outside
+        # the paper's model, where neighbourhoods never include self.
+        loops = [node for node, _ in nx.selfloop_edges(graph)]
+        if loops:
+            raise TopologyError(
+                f"round {round_no}: self-loop at node(s) {sorted(loops)[:10]}; "
+                "a process is never its own neighbour"
+            )
         if (
             self.config.require_connected
             and len(expected_nodes) > 1

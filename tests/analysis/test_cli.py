@@ -45,6 +45,25 @@ class TestCli:
         with pytest.raises(KeyError):
             main(["run", "tab-nope"])
 
+    def test_all_accepts_jobs_and_cache(self, tmp_path, capsys, monkeypatch):
+        # Shrink the registry to keep `all` fast; exercise both the
+        # parallel dispatch and the cache round-trip.
+        from repro.analysis import parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod,
+            "available_experiments",
+            lambda: ["tab-star-pd1"],
+        )
+        cache_dir = tmp_path / "cache"
+        assert main(["all", "--jobs", "2", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "PASS" in first
+        assert list(cache_dir.glob("tab-star-pd1-*.json"))
+        assert main(["all", "--jobs", "2", "--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+
     def test_report_command(self, tmp_path, capsys):
         path = tmp_path / "report.md"
         code = main(["report", str(path), "--experiment", "tab-star-pd1"])

@@ -1,0 +1,157 @@
+"""Tests for the parallel experiment runner and the result cache."""
+
+from __future__ import annotations
+
+from repro.analysis.parallel import (
+    ResultCache,
+    parallel_map,
+    run_experiments,
+    timed_run,
+)
+from repro.analysis.registry import ExperimentResult, run_experiment
+
+EXPERIMENTS = ["tab-star-pd1", "tab-kernel-structure"]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_matches_plain_loop(self):
+        assert parallel_map(_square, range(5), jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(_square, range(8), jobs=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+class TestTimedRun:
+    def test_appends_timing_note(self):
+        result = timed_run("tab-star-pd1", sizes=(2, 5))
+        assert result.passed
+        assert any(note.startswith("timing:") for note in result.notes)
+
+
+class TestRunExperiments:
+    def test_parallel_identical_to_serial(self):
+        """Acceptance: --jobs N produces identical tables and checks."""
+        serial = run_experiments(EXPERIMENTS, jobs=1)
+        parallel = run_experiments(EXPERIMENTS, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.experiment == b.experiment
+            assert a.rows == b.rows
+            assert a.headers == b.headers
+            assert a.checks == b.checks
+
+    def test_order_matches_request(self):
+        names = list(reversed(EXPERIMENTS))
+        results = run_experiments(names, jobs=2)
+        assert [r.experiment for r in results] == names
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_experiment("tab-star-pd1", sizes=(2, 5))
+        cache.store(result, {"sizes": (2, 5)})
+        loaded = cache.load("tab-star-pd1", {"sizes": (2, 5)})
+        assert loaded is not None
+        assert loaded.rows == result.rows
+        assert loaded.checks == result.checks
+        assert any(note.startswith("cache: hit") for note in loaded.notes)
+
+    def test_key_depends_on_params(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key("e", {"n": 1}) != cache.key("e", {"n": 2})
+        assert cache.key("e", {}) != cache.key("f", {})
+
+    def test_miss_on_empty_dir(self, tmp_path):
+        assert ResultCache(tmp_path).load("tab-star-pd1", {}) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("tab-star-pd1", {}).parent.mkdir(exist_ok=True)
+        cache.path("tab-star-pd1", {}).write_text("{not json")
+        assert cache.load("tab-star-pd1", {}) is None
+
+    def test_run_experiments_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiments(["tab-star-pd1"], cache=cache)
+        second = run_experiments(["tab-star-pd1"], cache=cache)
+        assert not any(
+            note.startswith("cache: hit") for note in first[0].notes
+        )
+        assert any(note.startswith("cache: hit") for note in second[0].notes)
+        assert first[0].rows == second[0].rows
+        assert first[0].checks == second[0].checks
+
+    def test_cached_render_identical(self, tmp_path):
+        """A reload renders the same table (values survive JSON)."""
+        from repro.analysis.tables import render_table
+
+        cache = ResultCache(tmp_path)
+        result = run_experiment("tab-kernel-structure", max_round=2, sparse_max_round=4)
+        cache.store(result, {})
+        loaded = cache.load("tab-kernel-structure", {})
+        assert render_table(loaded.rows, loaded.headers) == render_table(
+            result.rows, result.headers
+        )
+
+
+class TestExperimentResultSerialisation:
+    def test_to_from_dict_roundtrip(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="t",
+            headers=["a", "b"],
+            rows=[{"a": 1, "b": 2.5}, {"a": True, "b": "s"}],
+            checks={"ok": True, "bad": False},
+            notes=["n1"],
+        )
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.rows == result.rows
+        assert clone.checks == result.checks
+        assert clone.render() == result.render()
+
+    def test_non_json_values_render_stably(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="t",
+            headers=["a"],
+            rows=[{"a": (1, 2)}],
+        )
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.render() == result.render()
+
+
+class TestExperimentJobsParam:
+    def test_sweep_jobs_identical(self):
+        serial = run_experiment(
+            "fig-counting-rounds-vs-n", max_n=30, per_decade=3, jobs=1
+        )
+        parallel = run_experiment(
+            "fig-counting-rounds-vs-n", max_n=30, per_decade=3, jobs=2
+        )
+        assert serial.rows == parallel.rows
+        assert serial.checks == parallel.checks
+        # The global fit checks need the full-size sweep; the per-size
+        # exactness checks must hold even on this shrunken one.
+        assert all(
+            ok for name, ok in serial.checks.items() if name.startswith("n")
+        )
+
+    def test_horizon_jobs_identical(self):
+        serial = run_experiment(
+            "tab-ambiguity-horizon", sizes=(2, 5, 14), jobs=1
+        )
+        parallel = run_experiment(
+            "tab-ambiguity-horizon", sizes=(2, 5, 14), jobs=2
+        )
+        assert serial.rows == parallel.rows
+        assert serial.checks == parallel.checks
+        assert serial.passed

@@ -1,0 +1,38 @@
+"""Tests for the log-spaced sweep helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import log_spaced_sizes
+
+
+class TestLogSpacedSizes:
+    def test_covers_endpoints(self):
+        sizes = log_spaced_sizes(2, 1000)
+        assert sizes[0] == 2
+        assert sizes[-1] == 1000
+
+    def test_strictly_increasing(self):
+        sizes = log_spaced_sizes(1, 500, per_decade=4)
+        assert sizes == sorted(set(sizes))
+
+    def test_density(self):
+        # per_decade points per power of ten, up to rounding dedup.
+        sizes = log_spaced_sizes(1, 100, per_decade=2)
+        assert len(sizes) <= 2 * 2 + 2
+
+    def test_single_point(self):
+        assert log_spaced_sizes(7, 7) == [7]
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            log_spaced_sizes(0, 10)
+        with pytest.raises(ValueError, match="lo <= hi"):
+            log_spaced_sizes(10, 5)
+
+    @pytest.mark.parametrize("per_decade", [0, -1, -6])
+    def test_nonpositive_per_decade_rejected(self, per_decade):
+        """Regression: per_decade <= 0 used to loop forever (ratio <= 1)."""
+        with pytest.raises(ValueError, match="per_decade"):
+            log_spaced_sizes(1, 100, per_decade=per_decade)

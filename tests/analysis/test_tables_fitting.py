@@ -73,6 +73,12 @@ class TestFitLog3:
         with pytest.raises(ValueError):
             fit_log3([5, 5], [1.0, 2.0])
 
+    def test_degenerate_sizes_message_is_descriptive(self):
+        """Regression: zero variance in log_3 n must fail loudly and
+        descriptively, not crash inside the least-squares fit."""
+        with pytest.raises(ValueError, match="zero variance"):
+            fit_log3([7, 7, 7], [1.0, 2.0, 3.0])
+
     def test_str(self):
         fit = fit_log3([3, 9, 27], [1.0, 2.0, 3.0])
         assert "log3" in str(fit)

@@ -1,0 +1,163 @@
+"""Tests for the sparse M_r backend (construction, kernel, rank)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.lowerbound.kernel import (
+    closed_form_kernel,
+    recursive_kernel,
+    sum_negative,
+    sum_positive,
+)
+from repro.core.lowerbound.matrices import (
+    MAX_DENSE_ROUND,
+    build_matrix,
+    n_columns,
+    n_rows,
+    observation_vector,
+)
+from repro.core.lowerbound.sparse import (
+    MAX_SPARSE_ROUND,
+    build_sparse_matrix,
+    sparse_nnz,
+    sparse_nullspace_dimension,
+    sparse_observation_vector,
+    sparse_rank,
+    verify_in_kernel_sparse,
+)
+from repro.core.solver import feasible_size_interval
+from repro.core.solver_dense import (
+    feasible_size_interval_dense,
+    feasible_size_interval_sparse,
+)
+from repro.networks.multigraph import DynamicMultigraph
+
+from tests.conftest import schedules_strategy
+
+# The raised horizon of this backend; well past MAX_DENSE_ROUND = 6.
+HORIZON = 10
+
+
+class TestSparseDenseParity:
+    @pytest.mark.parametrize("r", range(MAX_DENSE_ROUND + 1))
+    def test_equals_dense_entry_for_entry(self, r):
+        """The ISSUE's parity property: sparse M_r == dense M_r, all r <= 6."""
+        assert np.array_equal(
+            build_sparse_matrix(r).toarray(), build_matrix(r)
+        )
+
+    def test_shape_and_nnz(self):
+        for r in range(HORIZON + 1):
+            matrix = build_sparse_matrix(r)
+            assert matrix.shape == (n_rows(r), n_columns(r))
+            assert matrix.nnz == sparse_nnz(r) == 4 * (r + 1) * 3**r
+
+    def test_entries_are_01(self):
+        matrix = build_sparse_matrix(4)
+        assert set(np.unique(matrix.data)) == {1}
+
+    def test_round_validation(self):
+        with pytest.raises(ValueError, match="numbered from 0"):
+            build_sparse_matrix(-1)
+        with pytest.raises(ValueError, match="capped"):
+            build_sparse_matrix(MAX_SPARSE_ROUND + 1)
+
+    def test_horizon_past_dense_cap(self):
+        assert MAX_SPARSE_ROUND >= HORIZON > MAX_DENSE_ROUND
+
+
+class TestSparseKernel:
+    @pytest.mark.parametrize("r", range(HORIZON + 1))
+    def test_closed_form_kernel_annihilated(self, r):
+        """M_r k_r = 0 exactly, up to the raised horizon."""
+        assert verify_in_kernel_sparse(r)
+
+    @pytest.mark.parametrize("r", range(HORIZON + 1))
+    def test_kernel_matches_lemma3_recursion(self, r):
+        assert np.array_equal(closed_form_kernel(r), recursive_kernel(r))
+
+    @pytest.mark.parametrize("r", range(HORIZON + 1))
+    def test_lemma4_sums_at_horizon(self, r):
+        kernel = closed_form_kernel(r)
+        pos = int(kernel[kernel > 0].sum())
+        neg = int(-kernel[kernel < 0].sum())
+        assert pos - neg == 1  # sum k_r = 1
+        assert neg == sum_negative(r) == (3 ** (r + 1) - 1) // 2
+        assert pos == sum_positive(r)
+
+
+class TestSparseRank:
+    @pytest.mark.parametrize("r", range(5))
+    def test_matches_dense_certificate(self, r):
+        assert sparse_rank(r) == n_rows(r)
+
+    @pytest.mark.parametrize("r", [7, HORIZON])
+    def test_full_row_rank_past_dense_cap(self, r):
+        assert sparse_rank(r) == n_rows(r)
+
+    @pytest.mark.parametrize("r", [3, 8])
+    def test_nullity_is_one(self, r):
+        assert sparse_nullspace_dimension(r) == 1
+
+    def test_round_validation(self):
+        with pytest.raises(ValueError, match="numbered from 0"):
+            sparse_rank(-1)
+
+
+class TestSparseVectors:
+    @given(schedules_strategy(max_nodes=6, min_rounds=1, max_rounds=3))
+    @settings(max_examples=40)
+    def test_observation_vector_matches_dense(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        r = multigraph.prefix_rounds - 1
+        observations = multigraph.observations(r + 1)
+        assert np.array_equal(
+            sparse_observation_vector(observations, r),
+            observation_vector(observations, r),
+        )
+
+    @given(schedules_strategy(max_nodes=5, min_rounds=1, max_rounds=3))
+    @settings(max_examples=30)
+    def test_fundamental_identity_sparse(self, schedules):
+        """m_r = M_r s_r holds through the sparse matrix too."""
+        from repro.core.lowerbound.matrices import configuration_vector
+
+        multigraph = DynamicMultigraph(2, schedules)
+        r = multigraph.prefix_rounds - 1
+        s = configuration_vector(multigraph.configuration(r + 1), r)
+        m = sparse_observation_vector(multigraph.observations(r + 1), r)
+        assert np.array_equal(build_sparse_matrix(r) @ s, m)
+
+    def test_requires_enough_rounds(self):
+        multigraph = DynamicMultigraph(2, [[frozenset({1})]])
+        with pytest.raises(ValueError, match="rounds"):
+            sparse_observation_vector(multigraph.observations(1), 1)
+
+
+class TestSparseSolver:
+    @given(schedules_strategy(max_nodes=6, min_rounds=1, max_rounds=3))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_tree_and_dense_solvers(self, schedules):
+        multigraph = DynamicMultigraph(2, schedules)
+        observations = multigraph.observations(multigraph.prefix_rounds)
+        tree = feasible_size_interval(observations)
+        dense = feasible_size_interval_dense(observations)
+        sparse = feasible_size_interval_sparse(observations)
+        assert (sparse.lo, sparse.hi) == (dense.lo, dense.hi)
+        assert (sparse.lo, sparse.hi) == (tree.lo, tree.hi)
+
+    def test_works_past_dense_cap(self):
+        # A round-8 execution: 9 observed rounds, dense path impossible.
+        from repro.adversaries.worst_case import max_ambiguity_multigraph
+
+        n = 30
+        multigraph = max_ambiguity_multigraph(n)
+        observations = multigraph.observations(MAX_DENSE_ROUND + 3)
+        with pytest.raises(ValueError, match="dense"):
+            feasible_size_interval_dense(observations)
+        tree = feasible_size_interval(observations)
+        sparse = feasible_size_interval_sparse(observations)
+        assert (sparse.lo, sparse.hi) == (tree.lo, tree.hi)

@@ -203,6 +203,46 @@ class TestEngineValidation:
         with pytest.raises(TopologyError, match="disconnected"):
             engine.run()
 
+    def test_self_loop_raises(self):
+        """Regression: a self-loop delivered a node its own broadcast."""
+        graph = nx.path_graph(2)
+        graph.add_edge(1, 1)
+        engine = SynchronousEngine(
+            [EchoProcess(), EchoProcess()],
+            lambda r: graph,
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=1),
+        )
+        with pytest.raises(TopologyError, match="self-loop"):
+            engine.run()
+
+    def test_self_loop_rejected_even_without_connectivity_check(self):
+        graph = nx.path_graph(3)
+        graph.add_edge(0, 0)
+        engine = SynchronousEngine(
+            [EchoProcess(), EchoProcess(), EchoProcess()],
+            lambda r: graph,
+            leader=None,
+            config=EngineConfig(
+                stop_when="budget", max_rounds=1, require_connected=False
+            ),
+        )
+        with pytest.raises(TopologyError, match="self-loop"):
+            engine.run()
+
+    def test_no_self_delivery_on_clean_graph(self):
+        processes = [EchoProcess(f"p{i}") for i in range(2)]
+        engine = SynchronousEngine(
+            processes,
+            lambda r: nx.path_graph(2),
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=1),
+        )
+        engine.run()
+        for process in processes:
+            _, inbox = process.received[0]
+            assert process.tag not in inbox
+
     def test_disconnected_allowed_when_not_required(self):
         graph = nx.Graph()
         graph.add_nodes_from(range(2))
