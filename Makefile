@@ -10,11 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Tier-1 gate: the full test suite plus CLI smoke runs exercising the
-# sparse backend and the parallel experiment runner.
+# Tier-1 gate: lint, the full test suite, plus CLI smoke runs
+# exercising the sparse backend, the parallel experiment runner, and
+# the observability layer (metrics snapshot must parse).
 check:
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
+	else echo "ruff not installed; skipping lint"; fi
 	$(PYTHON) -m pytest -x -q tests/
-	$(PYTHON) -m repro run tab-kernel-structure
+	$(PYTHON) -m repro run tab-kernel-structure --metrics-out .check-metrics.json
+	$(PYTHON) -c "import json; s = json.load(open('.check-metrics.json')); \
+	assert s['counters']['experiments.run'] == 1, s"
+	@rm -f .check-metrics.json
 	$(PYTHON) -m repro all --jobs 2
 
 bench:

@@ -16,6 +16,8 @@ curve coincides with the theoretical bound point for point
 
 from __future__ import annotations
 
+from repro.obs.logger import get_logger
+from repro.obs.metrics import counter
 from repro.core.lowerbound.bounds import ambiguity_horizon
 from repro.core.lowerbound.pairs import twin_configurations
 from repro.core.solver import feasible_size_interval
@@ -23,6 +25,8 @@ from repro.core.states import ObservationSequence
 from repro.networks.dynamic_graph import DynamicGraph
 from repro.networks.multigraph import DynamicMultigraph
 from repro.networks.transform import PD2Layout, mdbl_to_pd2
+
+_log = get_logger("adversaries.worst_case")
 
 __all__ = [
     "max_ambiguity_multigraph",
@@ -40,6 +44,10 @@ def max_ambiguity_multigraph(n: int, *, extend: str = "full") -> DynamicMultigra
     """
     horizon = ambiguity_horizon(n)
     smaller, _larger = twin_configurations(horizon, n)
+    counter("adversary.worst_case_schedules")
+    _log.debug(
+        "worst-case schedule built", extra={"n": n, "horizon": horizon}
+    )
     return DynamicMultigraph.from_solution(
         2, smaller, extend=extend, name=f"worst-case-n{n}"
     )
@@ -73,5 +81,9 @@ def measured_ambiguity_curve(
         interval = feasible_size_interval(observations)
         widths.append(interval.width)
         if interval.is_unique:
+            _log.debug(
+                "ambiguity collapsed",
+                extra={"multigraph": multigraph.name, "round_no": round_no},
+            )
             return widths
     return widths

@@ -6,13 +6,15 @@ parallel.  This module provides the shared executor plumbing:
 
 * :func:`parallel_map` -- map a picklable function over items with a
   ``concurrent.futures`` process pool (``jobs <= 1`` degrades to a plain
-  in-process loop, so callers need no special casing).
+  in-process loop, so callers need no special casing).  A failing item
+  is logged and re-raised annotated with *which* item failed.
 * :func:`timed_run` -- :func:`repro.analysis.registry.run_experiment`
-  wrapped with wall-clock and peak-memory measurement, recorded into
-  ``ExperimentResult.notes``.
+  wrapped in an ``experiment.run`` span; the span's wall-clock and
+  peak-RSS are rendered into ``ExperimentResult.notes`` for backward
+  compatibility with the pre-observability note format.
 * :class:`ResultCache` -- a directory of JSON files keyed by
-  ``(experiment, params)``; a hit skips the run entirely and is marked
-  in the notes.
+  ``(experiment, params)``; a hit skips the run entirely, is marked
+  (idempotently) in the notes, and bumps the ``cache.hits`` counter.
 * :func:`run_experiments` -- the engine behind ``repro all --jobs N``:
   cache lookup, parallel dispatch, results returned in registry order.
 
@@ -21,13 +23,16 @@ module-level function with picklable arguments; results
 (:class:`~repro.analysis.registry.ExperimentResult`) are plain
 dataclasses of scalars and travel back over the pool unchanged --
 which is why the parallel tables/checks are identical to serial ones.
+Each pool task runs under a fresh :class:`~repro.obs.metrics
+.MetricsRegistry` whose snapshot travels back with the result, so
+``run_experiments`` aggregates worker metrics losslessly: the merged
+counters of a ``--jobs N`` run equal a serial run's exactly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -37,11 +42,44 @@ from repro.analysis.registry import (
     available_experiments,
     run_experiment,
 )
+from repro.obs.logger import get_logger
+from repro.obs.metrics import MetricsRegistry, counter, get_registry, use_registry
+from repro.obs.spans import span
+
+_log = get_logger("analysis.parallel")
 
 __all__ = ["ResultCache", "parallel_map", "run_experiments", "timed_run"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def _annotate_failure(
+    exc: BaseException, fn: Callable[..., Any], index: int, item: Any
+) -> None:
+    """Log and annotate a per-item failure with *which* item failed.
+
+    The original exception is re-raised by the caller unchanged (same
+    type, same traceback); on Python >= 3.11 it additionally carries an
+    ``add_note`` line naming the function, index, and item.
+    """
+    description = repr(item)
+    if len(description) > 200:
+        description = description[:197] + "..."
+    _log.error(
+        "parallel item failed",
+        extra={
+            "fn": getattr(fn, "__name__", repr(fn)),
+            "index": index,
+            "item": description,
+            "error": f"{type(exc).__name__}: {exc}",
+        },
+    )
+    if hasattr(exc, "add_note"):
+        exc.add_note(
+            f"parallel_map: item {index} ({description}) failed under "
+            f"{getattr(fn, '__name__', repr(fn))}"
+        )
 
 
 def parallel_map(
@@ -54,42 +92,54 @@ def parallel_map(
         items: Its inputs; results keep this order.
         jobs: Worker processes; ``<= 1`` runs serially in-process (no
             pool, no pickling -- bit-identical to a plain loop).
+
+    Raises:
+        Exception: Whatever ``fn`` raised, re-raised as soon as the
+            failing item's result is reached (in submission order) and
+            annotated with the failing index/item instead of surfacing
+            anonymously after the whole pool drains.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results: list[_R] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                _annotate_failure(exc, fn, index, item)
+                raise
+        return results
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
-
-
-def _peak_rss_mib() -> float | None:
-    """Peak resident set size of this process in MiB (None if unknown)."""
-    try:
-        import resource
-    except ImportError:  # non-POSIX platform
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    import sys
-
-    return peak / 2**20 if sys.platform == "darwin" else peak / 2**10
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        for index, (item, future) in enumerate(zip(items, futures)):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                _annotate_failure(exc, fn, index, item)
+                raise
+        return results
 
 
 def timed_run(experiment: str, **params: Any) -> ExperimentResult:
-    """Run one experiment, recording wall-clock and memory in notes.
+    """Run one experiment inside an ``experiment.run`` span.
 
-    The note has the form ``timing: 1.234s wall, peak RSS 45.2 MiB``.
-    Memory is the process high-water mark from ``getrusage`` -- free to
-    read (unlike :mod:`tracemalloc`, whose allocation hooks slow the
-    hot paths several-fold) and per-experiment in fresh pool workers;
-    in a long serial run it is monotone across experiments.
+    The span records wall-clock and peak RSS and flows to any JSONL
+    sink; its data is also rendered into the (pre-existing) note format
+    ``timing: 1.234s wall, peak RSS 45.2 MiB`` so downstream note
+    parsing keeps working.  Memory is the process high-water mark from
+    ``getrusage`` -- free to read (unlike :mod:`tracemalloc`, whose
+    allocation hooks slow the hot paths several-fold) and
+    per-experiment in fresh pool workers; in a long serial run it is
+    monotone across experiments.
     """
-    start = time.perf_counter()
-    result = run_experiment(experiment, **params)
-    elapsed = time.perf_counter() - start
-    rss = _peak_rss_mib()
+    with span("experiment.run", experiment=experiment) as record:
+        result = run_experiment(experiment, **params)
+    counter("experiments.run")
+    counter("experiments.passed" if result.passed else "experiments.failed")
+    rss = record.rss_mib
     memory = f", peak RSS {rss:.1f} MiB" if rss is not None else ""
-    result.notes.append(f"timing: {elapsed:.3f}s wall{memory}")
+    result.notes.append(f"timing: {record.duration_s:.3f}s wall{memory}")
     return result
 
 
@@ -100,7 +150,9 @@ class ResultCache:
     experiment id plus a digest of the sorted parameter items, so
     different parameterisations never collide and the cache directory
     stays human-navigable.  Corrupt or unreadable entries are treated
-    as misses, never raised.
+    as misses, never raised.  Hits and misses increment the
+    ``cache.hits`` / ``cache.misses`` counters on the current metrics
+    registry.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -126,8 +178,17 @@ class ResultCache:
             payload = json.loads(path.read_text())
             result = ExperimentResult.from_dict(payload)
         except (OSError, ValueError, KeyError, TypeError):
+            counter("cache.misses")
             return None
-        result.notes.append(f"cache: hit ({path.name})")
+        counter("cache.hits")
+        _log.debug(
+            "cache hit", extra={"experiment": experiment, "path": str(path)}
+        )
+        # Idempotent: a result stored after being loaded (or loaded
+        # repeatedly) must not accumulate duplicate hit notes.
+        note = f"cache: hit ({path.name})"
+        if note not in result.notes:
+            result.notes.append(note)
         return result
 
     def store(
@@ -140,9 +201,14 @@ class ResultCache:
         return path
 
 
-def _timed_task(experiment: str) -> ExperimentResult:
-    # Module-level so ProcessPoolExecutor can pickle it.
-    return timed_run(experiment)
+def _timed_task(experiment: str) -> tuple[ExperimentResult, dict[str, Any]]:
+    # Module-level so ProcessPoolExecutor can pickle it.  Runs under a
+    # fresh registry so the task's metrics are isolated (pool workers
+    # are reused across tasks) and travel back with the result.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = timed_run(experiment)
+    return result, registry.snapshot()
 
 
 def run_experiments(
@@ -163,9 +229,16 @@ def run_experiments(
 
     Returns:
         One :class:`ExperimentResult` per requested experiment, with
-        timing (and cache) notes appended.
+        timing (and cache) notes appended.  Every task's metrics
+        snapshot (engine rounds, messages, span timings, ...) is merged
+        into the caller's current registry, so aggregated counters are
+        identical for serial and parallel runs.
     """
     names = list(experiments or available_experiments())
+    _log.info(
+        "running experiments",
+        extra={"count": len(names), "jobs": jobs, "cached": cache is not None},
+    )
     results: dict[str, ExperimentResult] = {}
     pending: list[str] = []
     for name in names:
@@ -174,7 +247,11 @@ def run_experiments(
             results[name] = cached
         else:
             pending.append(name)
-    for name, result in zip(pending, parallel_map(_timed_task, pending, jobs=jobs)):
+    registry = get_registry()
+    for name, (result, snapshot) in zip(
+        pending, parallel_map(_timed_task, pending, jobs=jobs)
+    ):
+        registry.merge(snapshot)
         if cache is not None:
             cache.store(result, {})
         results[name] = result

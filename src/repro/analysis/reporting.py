@@ -10,14 +10,11 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis.registry import (
-    ExperimentResult,
-    available_experiments,
-    run_experiment,
-)
+from repro.analysis.parallel import ResultCache, run_experiments
+from repro.analysis.registry import ExperimentResult
 from repro.analysis.tables import render_table
 
-__all__ = ["result_to_markdown", "full_report"]
+__all__ = ["result_to_markdown", "full_report", "write_report"]
 
 
 def result_to_markdown(result: ExperimentResult) -> str:
@@ -45,13 +42,26 @@ def full_report(
     *,
     experiments: list[str] | None = None,
     title: str = "Experiment report",
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
 ) -> str:
-    """Run experiments (default: all) and render one Markdown document."""
-    names = experiments if experiments is not None else available_experiments()
+    """Run experiments (default: all) and render one Markdown document.
+
+    Args:
+        experiments: Restrict to these experiment ids (registry order
+            is kept for ``None``).
+        title: Heading of the generated document.
+        jobs: Worker processes for the runs (see
+            :func:`repro.analysis.parallel.run_experiments`); serial by
+            default, so a report is bit-identical to ``repro all``.
+        cache: A :class:`~repro.analysis.parallel.ResultCache` or a
+            cache directory path; cached experiments are not re-run.
+    """
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
     sections = [f"# {title}", ""]
     all_passed = True
-    for name in names:
-        result = run_experiment(name)
+    for result in run_experiments(experiments, jobs=jobs, cache=cache):
         sections.append(result_to_markdown(result))
         all_passed &= result.passed
     sections.append(

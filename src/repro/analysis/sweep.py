@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from repro.obs.logger import get_logger
+
+_log = get_logger("analysis.sweep")
+
 __all__ = ["log_spaced_sizes"]
 
 
@@ -35,4 +39,8 @@ def log_spaced_sizes(
         value *= ratio
     if sizes[-1] != hi:
         sizes.append(hi)
+    _log.debug(
+        "sweep sizes generated",
+        extra={"lo": lo, "hi": hi, "per_decade": per_decade, "count": len(sizes)},
+    )
     return sizes

@@ -7,22 +7,41 @@ Usage::
     python -m repro run fig-counting-rounds-vs-n --param max_n=200
     python -m repro all
     python -m repro all --jobs 4 --cache-dir .repro-cache
-    python -m repro report out/report.md
+    python -m repro report out/report.md --jobs 4
+    python -m repro run tab-kernel-structure --metrics-out m.json
+    python -m repro all --log-level debug --log-json events.jsonl
+    python -m repro stats m.json
 
 Parameters given as ``--param name=value`` are parsed as Python literals
 and forwarded to the experiment function.
+
+Observability (``run`` / ``all`` / ``report``):
+
+* ``--log-level LEVEL`` -- human-readable ``repro.*`` logs on stderr.
+* ``--log-json PATH`` -- append every log record *and* span event to a
+  JSONL file (one JSON object per line).
+* ``--metrics-out PATH`` -- write the command's metrics snapshot
+  (counters, gauges, histograms) as JSON.
+* ``--profile`` / ``--profile-mem`` -- cProfile / tracemalloc report on
+  stderr when the command finishes.
+
+``repro stats PATH`` summarises either artifact back into tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
+from contextlib import ExitStack
 from typing import Any
 
-from repro.analysis.registry import available_experiments, run_experiment
+from repro.analysis.registry import available_experiments
 
 __all__ = ["main"]
+
+_LOG_LEVELS = ["debug", "info", "warning", "error", "critical"]
 
 
 def _parse_params(params: list[str]) -> dict[str, Any]:
@@ -38,6 +57,41 @@ def _parse_params(params: list[str]) -> dict[str, Any]:
     return parsed
 
 
+def _observability_options() -> argparse.ArgumentParser:
+    """Shared ``--log-*`` / ``--metrics-out`` / ``--profile*`` options."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=None,
+        help="print repro.* logs at this level to stderr",
+    )
+    group.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="append log records and span events to PATH as JSON lines",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics snapshot (JSON) to PATH",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top functions to stderr",
+    )
+    group.add_argument(
+        "--profile-mem",
+        action="store_true",
+        help="run under tracemalloc and print top allocation sites to stderr",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -46,9 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "Anonymity on Dynamic Networks' (PODC 2015)"
         ),
     )
+    obs_options = _observability_options()
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("list", help="list available experiments")
-    run = commands.add_parser("run", help="run one experiment")
+    run = commands.add_parser(
+        "run", parents=[obs_options], help="run one experiment"
+    )
     run.add_argument("experiment", help="experiment id (see `repro list`)")
     run.add_argument(
         "--param",
@@ -57,7 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="override an experiment parameter (repeatable)",
     )
-    run_all = commands.add_parser("all", help="run every experiment")
+    run_all = commands.add_parser(
+        "all", parents=[obs_options], help="run every experiment"
+    )
     run_all.add_argument(
         "--jobs",
         type=int,
@@ -75,7 +134,9 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     report = commands.add_parser(
-        "report", help="run every experiment and write a Markdown report"
+        "report",
+        parents=[obs_options],
+        help="run every experiment and write a Markdown report",
     )
     report.add_argument("path", help="output file (e.g. report.md)")
     report.add_argument(
@@ -84,24 +145,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to specific experiment ids (repeatable)",
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the report's experiments over N worker processes",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="reuse/store experiment results under PATH (see `all`)",
+    )
+    stats = commands.add_parser(
+        "stats",
+        help="summarise a --metrics-out snapshot or --log-json event file",
+    )
+    stats.add_argument("path", help="metrics JSON or JSONL event file")
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        for experiment in available_experiments():
-            print(experiment)
-        return 0
+def _execute(args: argparse.Namespace) -> int:
+    """Run the instrumented command (``run`` / ``all`` / ``report``)."""
     if args.command == "run":
-        result = run_experiment(args.experiment, **_parse_params(args.param))
+        from repro.analysis.parallel import timed_run
+
+        result = timed_run(args.experiment, **_parse_params(args.param))
         print(result.render())
         return 0 if result.passed else 1
     if args.command == "report":
         from repro.analysis.reporting import write_report
 
-        path = write_report(args.path, experiments=args.experiment)
+        path = write_report(
+            args.path,
+            experiments=args.experiment,
+            jobs=args.jobs,
+            cache=args.cache_dir,
+        )
         print(f"report written to {path}")
         return 0
     # command == "all"
@@ -114,6 +195,41 @@ def main(argv: list[str] | None = None) -> int:
         print()
         all_passed &= result.passed
     return 0 if all_passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment in available_experiments():
+            print(experiment)
+        return 0
+    if args.command == "stats":
+        from repro.obs.stats import summarize_stats_file
+
+        print(summarize_stats_file(args.path))
+        return 0
+
+    from repro.obs.logger import configure_logging, teardown_logging
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.obs.profiling import memory_profiled, profiled
+
+    handlers = configure_logging(args.log_level, json_path=args.log_json)
+    try:
+        with use_registry(MetricsRegistry()) as registry, ExitStack() as stack:
+            if args.profile:
+                stack.enter_context(profiled())
+            if args.profile_mem:
+                stack.enter_context(memory_profiled())
+            try:
+                return _execute(args)
+            finally:
+                if args.metrics_out:
+                    with open(args.metrics_out, "w", encoding="utf-8") as out:
+                        json.dump(registry.snapshot(), out, indent=1)
+                        out.write("\n")
+    finally:
+        teardown_logging(handlers)
 
 
 if __name__ == "__main__":

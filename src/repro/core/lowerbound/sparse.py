@@ -39,17 +39,23 @@ in any certificate.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 from scipy import sparse
 
+from repro.obs.logger import get_logger
+from repro.obs.metrics import counter, gauge
+from repro.obs.spans import span
 from repro.core.lowerbound.kernel import closed_form_kernel, modular_rank
 from repro.core.lowerbound.matrices import (
-    MAX_DENSE_ROUND,
     build_matrix,
     n_columns,
     n_rows,
 )
 from repro.core.states import ObservationSequence, history_index
+
+_log = get_logger("core.lowerbound.sparse")
 
 __all__ = [
     "MAX_SPARSE_ROUND",
@@ -101,6 +107,19 @@ def build_sparse_matrix(r: int, *, dtype=np.int64) -> sparse.csr_matrix:
         ValueError: ``r < 0`` or ``r > MAX_SPARSE_ROUND``.
     """
     _check_round(r)
+    with span("sparse.build", r=r):
+        matrix = _assemble_csr(r, dtype)
+    counter("sparse.builds")
+    gauge("sparse.nnz", matrix.nnz)
+    if _log.isEnabledFor(logging.DEBUG):
+        _log.debug(
+            "M_r materialised",
+            extra={"r": r, "nnz": int(matrix.nnz), "shape": list(matrix.shape)},
+        )
+    return matrix
+
+
+def _assemble_csr(r: int, dtype) -> sparse.csr_matrix:
     row_chunks: list[np.ndarray] = []
     col_chunks: list[np.ndarray] = []
     row_offset = 0
@@ -167,7 +186,8 @@ def verify_in_kernel_sparse(r: int) -> bool:
     the dense cap (products stay below ``3^{r+1}``, far from overflow).
     """
     matrix = build_sparse_matrix(r)
-    return not np.any(matrix @ closed_form_kernel(r))
+    with span("sparse.kernel_check", r=r):
+        return not np.any(matrix @ closed_form_kernel(r))
 
 
 def _regrouped_row_indices(r: int, digit: int) -> np.ndarray:
@@ -201,11 +221,22 @@ def sparse_rank(r: int, *, _matrix: sparse.csr_matrix | None = None) -> int:
     that ``M_r`` has the recursive structure described in the module
     docstring, then returns ``3·rank(M_{r-1}) + 2``.
 
+    Every level of the recursion is traced as a nested ``sparse.rank``
+    span, so an event log shows exactly where certificate time goes.
+
     Raises:
         AssertionError: A structural check failed, or ``M_{r-1}`` did
             not certify full row rank -- either would invalidate the
             induction and should be investigated, not silenced.
     """
+    with span("sparse.rank", r=r):
+        rank = _certified_rank(r, _matrix)
+    if _log.isEnabledFor(logging.DEBUG):
+        _log.debug("rank certified", extra={"r": r, "rank": rank})
+    return rank
+
+
+def _certified_rank(r: int, _matrix: sparse.csr_matrix | None) -> int:
     if r < 0:
         raise ValueError("rounds are numbered from 0")
     if r <= 2:

@@ -1,0 +1,57 @@
+"""Structured observability: metrics, spans, event log, profiling.
+
+The repo's entire purpose is *measuring costs* -- rounds against the
+``⌊log_3(2|W|+1)⌋ - 1`` lower bound, message counts, certificate
+wall-clock -- so measurement itself is a first-class subsystem:
+
+* :mod:`repro.obs.metrics` -- a process-local :class:`MetricsRegistry`
+  of counters, gauges, and histograms.  Snapshots are plain dicts and
+  registries merge losslessly, so per-worker registries from the
+  experiment process pool aggregate into one run-wide view.
+* :mod:`repro.obs.spans` -- ``with span("experiment.run", ...):``
+  tracing with wall-clock and peak-RSS per span, arbitrary nesting, and
+  a JSONL event sink shared with the structured logger.
+* :mod:`repro.obs.logger` -- ``logging``-based structured logging under
+  the ``repro.*`` namespace (console and/or JSONL).
+* :mod:`repro.obs.profiling` -- opt-in :mod:`cProfile` and
+  :mod:`tracemalloc` context managers behind ``--profile`` /
+  ``--profile-mem``.
+* :mod:`repro.obs.stats` -- ``repro stats PATH``: summarise a metrics
+  snapshot or JSONL event file into tables.
+
+Everything is dependency-free stdlib and cheap when idle: counters are
+dict increments, spans are two ``perf_counter`` calls, and per-round
+engine logging is gated on ``isEnabledFor(DEBUG)``.
+"""
+
+from repro.obs.logger import configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    observe,
+    use_registry,
+)
+from repro.obs.profiling import memory_profiled, profiled
+from repro.obs.spans import JsonlSink, Span, add_sink, remove_sink, span
+from repro.obs.stats import summarize_stats_file
+
+__all__ = [
+    "JsonlSink",
+    "MetricsRegistry",
+    "Span",
+    "add_sink",
+    "configure_logging",
+    "counter",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "memory_profiled",
+    "observe",
+    "profiled",
+    "remove_sink",
+    "span",
+    "summarize_stats_file",
+    "use_registry",
+]

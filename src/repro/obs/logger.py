@@ -1,0 +1,135 @@
+"""Structured logging for the ``repro.*`` namespace.
+
+Instrumented modules obtain loggers with :func:`get_logger` (always
+rooted at ``repro``) and attach structured fields through ``extra``::
+
+    _log = get_logger("simulation.engine")
+    _log.debug("round executed", extra={"round_no": 3, "delivered": 12})
+
+Nothing is printed until :func:`configure_logging` installs handlers --
+library users keep full control of the root logger; the CLI calls it
+from ``--log-level`` / ``--log-json``.  The JSONL handler writes into a
+:class:`repro.obs.spans.JsonlSink`, so log records and span events
+share one file and interleave chronologically.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from repro.obs.spans import JsonlSink, add_sink, remove_sink
+
+__all__ = ["JsonlLogHandler", "configure_logging", "get_logger"]
+
+ROOT = "repro"
+
+# logging.LogRecord attributes that are bookkeeping, not user fields;
+# anything else on a record came in through ``extra`` and is structured
+# data we forward to the event sink.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    if name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def record_extras(record: logging.LogRecord) -> dict[str, Any]:
+    """The structured fields a record carries beyond the message."""
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RECORD_FIELDS
+    }
+
+
+class JsonlLogHandler(logging.Handler):
+    """Forward log records to a :class:`JsonlSink` as ``kind: "log"``."""
+
+    def __init__(self, sink: JsonlSink, level: int = logging.NOTSET) -> None:
+        super().__init__(level)
+        self.sink = sink
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            event: dict[str, Any] = {
+                "kind": "log",
+                "ts": round(record.created, 6),
+                "level": record.levelname,
+                "logger": record.name,
+                "msg": record.getMessage(),
+            }
+            event.update(record_extras(record))
+            self.sink.emit(event)
+        except Exception:
+            self.handleError(record)
+
+
+class _ConsoleFormatter(logging.Formatter):
+    """``HH:MM:SS level logger: msg key=value ...`` on one line."""
+
+    default_time_format = "%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        head = (
+            f"{self.formatTime(record)} {record.levelname.lower():7s} "
+            f"{record.name}: {record.getMessage()}"
+        )
+        extras = record_extras(record)
+        if extras:
+            head += " " + " ".join(f"{k}={v}" for k, v in extras.items())
+        return head
+
+
+def configure_logging(
+    level: str | int | None = None,
+    *,
+    json_path: str | None = None,
+) -> list[logging.Handler]:
+    """Install handlers on the ``repro`` root logger.
+
+    Args:
+        level: Threshold for the human-readable stderr handler (name or
+            number); ``None`` installs no console handler.
+        json_path: Append every record (and, via the shared sink, every
+            span event) to this JSONL file; ``None`` installs no sink.
+
+    Returns:
+        The installed handlers, for later :func:`teardown_logging`.
+        Calling with both arguments ``None`` is a no-op.
+    """
+    root = logging.getLogger(ROOT)
+    handlers: list[logging.Handler] = []
+    if level is not None:
+        if isinstance(level, str):
+            level = logging.getLevelName(level.upper())
+        console = logging.StreamHandler()
+        console.setLevel(level)
+        console.setFormatter(_ConsoleFormatter())
+        handlers.append(console)
+    if json_path is not None:
+        sink = add_sink(JsonlSink(json_path))
+        handlers.append(JsonlLogHandler(sink, level=logging.DEBUG))
+    for handler in handlers:
+        root.addHandler(handler)
+    if handlers:
+        root.setLevel(min(handler.level or logging.DEBUG for handler in handlers))
+    return handlers
+
+
+def teardown_logging(handlers: list[logging.Handler]) -> None:
+    """Remove handlers installed by :func:`configure_logging`."""
+    root = logging.getLogger(ROOT)
+    for handler in handlers:
+        root.removeHandler(handler)
+        if isinstance(handler, JsonlLogHandler):
+            remove_sink(handler.sink)
+            handler.sink.close()
+        handler.close()

@@ -1,0 +1,164 @@
+"""Counters, gauges, and histograms with lossless merge.
+
+A :class:`MetricsRegistry` is process-local and deliberately simple:
+three dictionaries and no background machinery.  What makes it fit the
+parallel experiment runner is the algebra of :meth:`merge`:
+
+* counters add,
+* histograms combine ``(count, total, min, max)`` component-wise,
+* gauges are last-write-wins (the merged-in snapshot overrides).
+
+All three operations are associative, so per-worker registries from
+``repro all --jobs N`` fold into the parent registry in any grouping
+and the aggregate equals a serial run's counters exactly -- the
+property ``tests/obs/test_metrics.py`` asserts.
+
+Instrumented code uses the module-level helpers (:func:`counter`,
+:func:`gauge`, :func:`observe`), which act on the *current* registry.
+Pool workers swap in a fresh registry per task with
+:func:`use_registry` and ship its snapshot back with the result.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "observe",
+    "set_registry",
+    "use_registry",
+]
+
+
+class MetricsRegistry:
+    """A process-local collection of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    def counter(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (monotone total)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (point-in-time, last wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = {
+                "count": 0,
+                "total": 0.0,
+                "min": math.inf,
+                "max": -math.inf,
+            }
+        hist["count"] += 1
+        hist["total"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    def value(self, name: str) -> float:
+        """Current counter value (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable copy of the full registry state."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: dict(hist) for name, hist in self._histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Inverse of :meth:`snapshot`."""
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+    def merge(self, other: "MetricsRegistry | Mapping[str, Any]") -> None:
+        """Fold ``other`` (a registry or a snapshot) into this registry.
+
+        Counters add, histograms combine component-wise, gauges take the
+        merged-in value -- all associative, so worker snapshots can be
+        folded in any order/grouping with the same aggregate.
+        """
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, amount in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + amount
+        self._gauges.update(snapshot.get("gauges", {}))
+        for name, theirs in snapshot.get("histograms", {}).items():
+            ours = self._histograms.get(name)
+            if ours is None:
+                self._histograms[name] = dict(theirs)
+            else:
+                ours["count"] += theirs["count"]
+                ours["total"] += theirs["total"]
+                ours["min"] = min(ours["min"], theirs["min"])
+                ours["max"] = max(ours["max"], theirs["max"])
+
+    def clear(self) -> None:
+        """Drop every recorded metric (used between CLI commands/tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current registry instrumented code reports into."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the current registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily make ``registry`` current (pool workers use this so a
+    task's metrics are isolated and can travel back with its result)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str, amount: float = 1) -> None:
+    """Increment a counter on the current registry."""
+    _registry.counter(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the current registry."""
+    _registry.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the current registry."""
+    _registry.observe(name, value)

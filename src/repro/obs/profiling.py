@@ -1,0 +1,78 @@
+"""Opt-in profiling context managers behind ``--profile``/``--profile-mem``.
+
+Both are deliberately zero-cost when unused (plain ``contextmanager``
+wrappers around stdlib profilers) and print to *stderr* so the CLI's
+stdout tables stay machine-consumable.
+
+:func:`profiled` answers "where did the CPU time go" (cProfile, top-N
+by cumulative time); :func:`memory_profiled` answers "what allocated
+the memory" (tracemalloc, top-N allocation sites).  tracemalloc's
+allocation hooks slow hot paths several-fold, which is exactly why it
+is opt-in here rather than part of :func:`repro.obs.spans.span`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator, TextIO
+
+__all__ = ["memory_profiled", "profiled"]
+
+
+@contextmanager
+def profiled(
+    *, top: int = 25, out: TextIO | None = None, sort: str = "cumulative"
+) -> Iterator[cProfile.Profile]:
+    """Run the block under :mod:`cProfile`; print the top-N on exit.
+
+    Args:
+        top: Number of rows of the stats table to print.
+        out: Destination stream (default ``sys.stderr``).
+        sort: A :mod:`pstats` sort key (``"cumulative"``, ``"tottime"``).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(top)
+        stream = out if out is not None else sys.stderr
+        stream.write(f"--- cProfile (top {top} by {sort}) ---\n")
+        stream.write(buffer.getvalue())
+
+
+@contextmanager
+def memory_profiled(
+    *, top: int = 15, out: TextIO | None = None
+) -> Iterator[None]:
+    """Run the block under :mod:`tracemalloc`; print top allocators.
+
+    Reports the top-N allocation sites by size at the block's peak,
+    plus the traced current/peak totals.  Nested use keeps tracemalloc
+    running if it was already started by an outer scope.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    try:
+        yield
+    finally:
+        snapshot = tracemalloc.take_snapshot()
+        current, peak = tracemalloc.get_traced_memory()
+        if not already_tracing:
+            tracemalloc.stop()
+        stream = out if out is not None else sys.stderr
+        stream.write(
+            f"--- tracemalloc (top {top} sites; current "
+            f"{current / 2**20:.1f} MiB, peak {peak / 2**20:.1f} MiB) ---\n"
+        )
+        for stat in snapshot.statistics("lineno")[:top]:
+            stream.write(f"{stat}\n")

@@ -1,0 +1,193 @@
+"""Span-based tracing with wall-clock, peak RSS, and a JSONL event sink.
+
+A span brackets one unit of work::
+
+    with span("experiment.run", experiment="tab-kernel-structure") as sp:
+        ...
+    sp.duration_s   # wall-clock seconds
+    sp.rss_mib      # process peak RSS at span end (None off-POSIX)
+
+Spans nest arbitrarily (a per-thread stack tracks depth and parent),
+and on exit each span:
+
+* records its duration into the current metrics registry as the
+  histogram ``span.<name>.s`` -- so span timings aggregate across pool
+  workers exactly like any other metric, and
+* emits a ``{"kind": "span", ...}`` event to every registered sink.
+
+The only sink implementation is :class:`JsonlSink`: one JSON object per
+line, shared with the structured logger (``--log-json`` writes spans
+and log records into the same file so events interleave in order).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, TextIO
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import observe
+
+__all__ = [
+    "JsonlSink",
+    "Span",
+    "add_sink",
+    "current_span",
+    "peak_rss_mib",
+    "remove_sink",
+    "span",
+]
+
+
+def peak_rss_mib() -> float | None:
+    """Peak resident set size of this process in MiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak / 2**20 if sys.platform == "darwin" else peak / 2**10
+
+
+@dataclass
+class Span:
+    """One traced unit of work (mutated in place as it runs)."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    parent: str | None = None
+    depth: int = 0
+    start_wall: float = 0.0
+    duration_s: float | None = None
+    rss_mib: float | None = None
+
+    def event(self) -> dict[str, Any]:
+        """The JSONL event emitted when the span closes."""
+        record: dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "ts": round(self.start_wall, 6),
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+        }
+        if self.parent is not None:
+            record["parent"] = self.parent
+        if self.rss_mib is not None:
+            record["rss_mib"] = round(self.rss_mib, 1)
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class JsonlSink:
+    """Append events as JSON lines to a file (or any text stream).
+
+    Writes are serialised with a lock so spans and log records from
+    multiple threads interleave as whole lines.  Values that are not
+    JSON-native are rendered with ``repr`` rather than raised.
+    """
+
+    def __init__(self, target: str | TextIO) -> None:
+        if isinstance(target, str):
+            self._stream: TextIO = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, default=repr)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+_sinks: list[JsonlSink] = []
+
+
+def add_sink(sink: JsonlSink) -> JsonlSink:
+    """Register a sink to receive every span event; returns it."""
+    _sinks.append(sink)
+    return sink
+
+
+def remove_sink(sink: JsonlSink) -> None:
+    """Unregister a sink (missing sinks are ignored)."""
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+_stack = threading.local()
+
+
+def _span_stack() -> list[Span]:
+    stack = getattr(_stack, "spans", None)
+    if stack is None:
+        stack = _stack.spans = []
+    return stack
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _span_stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(
+    name: str, *, record_rss: bool = True, **attrs: Any
+) -> Iterator[Span]:
+    """Trace a block of work as a named span.
+
+    Args:
+        name: Dotted span name (``"experiment.run"``, ``"sparse.rank"``).
+        record_rss: Also record the process peak RSS at span end (one
+            ``getrusage`` call; disable only in the very hottest loops).
+        **attrs: Arbitrary JSON-ish attributes attached to the event.
+
+    On exit the span's duration is observed into the current metrics
+    registry (histogram ``span.<name>.s``) and the closed span is
+    emitted to every registered sink -- even when the block raised, so
+    a crashing certificate still leaves its timing behind.
+    """
+    stack = _span_stack()
+    parent = stack[-1] if stack else None
+    record = Span(
+        name=name,
+        attrs=attrs,
+        parent=parent.name if parent is not None else None,
+        depth=len(stack),
+        start_wall=time.time(),
+    )
+    stack.append(record)
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.duration_s = time.perf_counter() - start
+        if record_rss:
+            record.rss_mib = peak_rss_mib()
+        stack.pop()
+        observe(f"span.{name}.s", record.duration_s)
+        event = record.event()
+        for sink in _sinks:
+            sink.emit(event)

@@ -1,0 +1,165 @@
+"""Summarise observability artifacts: ``repro stats PATH``.
+
+Accepts either artifact the CLI can produce and renders aligned text
+tables (via :func:`repro.analysis.tables.render_table`):
+
+* a **metrics snapshot** (``--metrics-out``): one JSON object with
+  ``counters`` / ``gauges`` / ``histograms`` keys;
+* a **JSONL event log** (``--log-json``): one JSON object per line,
+  ``kind: "span"`` events and ``kind: "log"`` records interleaved.
+
+For event logs, spans are aggregated per name (count, total, mean, max
+seconds) -- the quickest way to see *why* a sweep was slow without
+re-running it under a profiler.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.tables import render_table
+
+__all__ = ["summarize_events", "summarize_snapshot", "summarize_stats_file"]
+
+
+def summarize_snapshot(snapshot: dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as tables."""
+    sections: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [
+            {"counter": name, "value": value}
+            for name, value in sorted(counters.items())
+        ]
+        sections.append(render_table(rows, ["counter", "value"], title="Counters"))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [
+            {"gauge": name, "value": value}
+            for name, value in sorted(gauges.items())
+        ]
+        sections.append(render_table(rows, ["gauge", "value"], title="Gauges"))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = [
+            {
+                "histogram": name,
+                "count": hist["count"],
+                "total": hist["total"],
+                "mean": hist["total"] / hist["count"] if hist["count"] else 0.0,
+                "min": hist["min"],
+                "max": hist["max"],
+            }
+            for name, hist in sorted(histograms.items())
+        ]
+        sections.append(
+            render_table(
+                rows,
+                ["histogram", "count", "total", "mean", "min", "max"],
+                title="Histograms",
+            )
+        )
+    if not sections:
+        return "empty metrics snapshot"
+    return "\n\n".join(sections)
+
+
+def summarize_events(events: list[dict[str, Any]]) -> str:
+    """Aggregate a JSONL event stream (spans + log records) as tables."""
+    spans: dict[str, dict[str, float]] = {}
+    levels: dict[str, int] = {}
+    other = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span":
+            agg = spans.setdefault(
+                event.get("name", "?"),
+                {"count": 0, "total": 0.0, "max": 0.0},
+            )
+            duration = float(event.get("duration_s") or 0.0)
+            agg["count"] += 1
+            agg["total"] += duration
+            agg["max"] = max(agg["max"], duration)
+        elif kind == "log":
+            level = str(event.get("level", "?"))
+            levels[level] = levels.get(level, 0) + 1
+        else:
+            other += 1
+    sections: list[str] = []
+    if spans:
+        rows = [
+            {
+                "span": name,
+                "count": int(agg["count"]),
+                "total s": agg["total"],
+                "mean s": agg["total"] / agg["count"],
+                "max s": agg["max"],
+            }
+            # Slowest in total first: that is what one is looking for.
+            for name, agg in sorted(
+                spans.items(), key=lambda item: -item[1]["total"]
+            )
+        ]
+        sections.append(
+            render_table(
+                rows,
+                ["span", "count", "total s", "mean s", "max s"],
+                title=f"Spans ({sum(int(a['count']) for a in spans.values())} events)",
+            )
+        )
+    if levels:
+        rows = [
+            {"level": level, "records": count}
+            for level, count in sorted(levels.items())
+        ]
+        sections.append(
+            render_table(rows, ["level", "records"], title="Log records")
+        )
+    if other:
+        sections.append(f"(plus {other} events of unknown kind)")
+    if not sections:
+        return "no events"
+    return "\n\n".join(sections)
+
+
+def summarize_stats_file(path: str | Path) -> str:
+    """Summarise ``path`` -- a metrics snapshot or a JSONL event log.
+
+    Format is sniffed from the content: a single JSON object with a
+    ``counters``/``gauges``/``histograms`` key is a snapshot; anything
+    else is parsed line by line as events (unparseable lines are
+    counted, not fatal).
+
+    Raises:
+        OSError: ``path`` cannot be read.
+    """
+    text = Path(path).read_text()
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
+    if isinstance(payload, dict) and (
+        {"counters", "gauges", "histograms"} & payload.keys()
+    ):
+        return summarize_snapshot(payload)
+    events: list[dict[str, Any]] = []
+    bad = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            bad += 1
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            bad += 1
+    summary = summarize_events(events)
+    if bad:
+        summary += f"\n\n({bad} unparseable line(s) skipped)"
+    return summary

@@ -14,11 +14,14 @@ choosing the round's graph.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 import networkx as nx
 
+from repro.obs.logger import get_logger
+from repro.obs.metrics import counter
 from repro.simulation.errors import (
     ProtocolViolationError,
     TerminationError,
@@ -27,6 +30,8 @@ from repro.simulation.errors import (
 from repro.simulation.messages import Inbox
 from repro.simulation.node import Process
 from repro.simulation.trace import RoundRecord, SimulationTrace, TraceLevel
+
+_log = get_logger("simulation.engine")
 
 __all__ = [
     "TopologyProvider",
@@ -187,23 +192,44 @@ class SynchronousEngine:
         n = len(self.processes)
         expected_nodes = set(range(n))
 
+        counter("engine.runs")
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "run started",
+                extra={
+                    "n": n,
+                    "stop_when": config.stop_when,
+                    "max_rounds": config.max_rounds,
+                    "trace_level": int(config.trace_level),
+                },
+            )
         rounds_executed = 0
         for round_no in range(config.max_rounds):
             graph = self._validated_graph(round_no, expected_nodes)
             self._execute_round(round_no, graph, trace)
             rounds_executed = round_no + 1
             if self._stop_criterion_met():
+                self._log_run_end(rounds_executed, terminated=True)
                 return self._result(rounds_executed, trace, terminated=True)
 
         if config.stop_when == "budget":
+            self._log_run_end(rounds_executed, terminated=True)
             return self._result(rounds_executed, trace, terminated=True)
         raise TerminationError(
             f"stop criterion {config.stop_when!r} not met within "
             f"{config.max_rounds} rounds"
         )
 
+    def _log_run_end(self, rounds: int, *, terminated: bool) -> None:
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "run finished",
+                extra={"rounds": rounds, "terminated": terminated},
+            )
+
     def _validated_graph(self, round_no: int, expected_nodes: set[int]) -> nx.Graph:
         graph = self.topology.graph(round_no, self.processes)
+        counter("engine.graphs")
         if set(graph.nodes) != expected_nodes:
             raise TopologyError(
                 f"round {round_no}: graph nodes {sorted(graph.nodes)[:10]}... "
@@ -272,15 +298,31 @@ class SynchronousEngine:
                 deliveries[index] = inbox
             process.deliver(round_no, inbox)
 
+        sent = sum(1 for p in payloads if p is not None)
+        counter("engine.rounds")
+        counter("engine.messages_sent", sent)
+        counter("engine.messages_delivered", delivered)
         if trace.level >= TraceLevel.TOPOLOGY:
             trace.append(
                 RoundRecord(
                     round_no=round_no,
                     graph=graph.copy(),
-                    messages_sent=sum(1 for p in payloads if p is not None),
+                    messages_sent=sent,
                     messages_delivered=delivered,
                     deliveries=deliveries,
                 )
+            )
+        if _log.isEnabledFor(logging.DEBUG):
+            # The same stats a RoundRecord carries, at every TraceLevel
+            # (the trace may be off while the event log is on).
+            _log.debug(
+                "round executed",
+                extra={
+                    "round_no": round_no,
+                    "edges": graph.number_of_edges(),
+                    "sent": sent,
+                    "delivered": delivered,
+                },
             )
 
     def _stop_criterion_met(self) -> bool:

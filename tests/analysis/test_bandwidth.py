@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.adversaries.worst_case import max_ambiguity_multigraph
 from repro.analysis.bandwidth import (
     measure_engine_bandwidth,

@@ -71,6 +71,120 @@ class TestCli:
         assert "tab-star-pd1" in path.read_text()
         assert "report written" in capsys.readouterr().out
 
+    def test_report_accepts_jobs_and_cache(self, tmp_path, capsys):
+        """Satellite: reports run through the parallel runner + cache."""
+        cache_dir = tmp_path / "cache"
+        args = [
+            "report",
+            str(tmp_path / "report.md"),
+            "--experiment",
+            "tab-star-pd1",
+            "--experiment",
+            "tab-kernel-structure",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(args) == 0
+        assert list(cache_dir.glob("tab-star-pd1-*.json"))
+        capsys.readouterr()
+        # Second report is served from the cache and says so.
+        assert main(args) == 0
+        report = (tmp_path / "report.md").read_text()
+        assert "cache: hit" in report
+        assert "all experiments passed" in report
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliObservability:
+    RUN = ["run", "tab-star-pd1", "--param", "sizes=(2, 5)"]
+
+    def test_metrics_out_snapshot(self, tmp_path, capsys):
+        """Acceptance: --metrics-out writes a parseable snapshot."""
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main([*self.RUN, "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["experiments.run"] == 1
+        assert snapshot["counters"]["engine.rounds"] >= 2
+        assert "span.experiment.run.s" in snapshot["histograms"]
+        capsys.readouterr()
+        # `repro stats` renders the same file as tables.
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.rounds" in out
+        assert "Counters" in out
+
+    def test_log_json_event_stream(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main([*self.RUN, "--log-json", str(path), "--log-level", "debug"])
+            == 0
+        )
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert {"log", "span"} <= {event["kind"] for event in events}
+        assert any(
+            event.get("name") == "experiment.run" for event in events
+        )
+        assert any(
+            event.get("msg") == "round executed" for event in events
+        )
+        err = capsys.readouterr().err
+        assert "round executed" in err  # --log-level debug on stderr
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.run" in out
+        assert "Log records" in out
+
+    def test_metrics_out_written_even_on_failure(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "run",
+                    "tab-nope",
+                    "--metrics-out",
+                    str(tmp_path / "metrics.json"),
+                ]
+            )
+        assert (tmp_path / "metrics.json").exists()
+
+    def test_profile_flags(self, tmp_path, capsys):
+        assert main([*self.RUN, "--profile", "--profile-mem"]) == 0
+        err = capsys.readouterr().err
+        assert "cProfile" in err
+        assert "tracemalloc" in err
+
+    def test_all_jobs_metrics_match_serial(self, tmp_path, monkeypatch, capsys):
+        """Acceptance: --jobs N aggregates the same counters as serial."""
+        import json
+
+        from repro.analysis import parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod,
+            "available_experiments",
+            lambda: ["tab-star-pd1", "tab-kernel-structure"],
+        )
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["all", "--metrics-out", str(serial_path)]) == 0
+        assert (
+            main(
+                ["all", "--jobs", "2", "--metrics-out", str(parallel_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        serial = json.loads(serial_path.read_text())["counters"]
+        parallel = json.loads(parallel_path.read_text())["counters"]
+        assert serial == parallel
+        assert serial["engine.rounds"] > 0
+        assert serial["experiments.run"] == 2

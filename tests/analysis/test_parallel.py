@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import logging
+
+import pytest
+
 from repro.analysis.parallel import (
     ResultCache,
     parallel_map,
@@ -9,12 +13,20 @@ from repro.analysis.parallel import (
     timed_run,
 )
 from repro.analysis.registry import ExperimentResult, run_experiment
+from repro.obs.metrics import MetricsRegistry, use_registry
 
 EXPERIMENTS = ["tab-star-pd1", "tab-kernel-structure"]
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    # Module-level so the process pool can pickle it.
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
 
 
 class TestParallelMap:
@@ -28,6 +40,25 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(_square, [], jobs=4) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_names_the_item(self, caplog, jobs):
+        """Satellite: a failing item is logged/annotated with context."""
+        with caplog.at_level(logging.ERROR, logger="repro"):
+            with pytest.raises(ValueError, match="three") as excinfo:
+                parallel_map(_fail_on_three, range(6), jobs=jobs)
+        errors = [
+            record
+            for record in caplog.records
+            if record.message == "parallel item failed"
+        ]
+        assert len(errors) == 1
+        assert errors[0].index == 3
+        assert errors[0].item == "3"
+        assert errors[0].fn == "_fail_on_three"
+        assert "ValueError" in errors[0].error
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("item 3" in note for note in notes)
 
 
 class TestTimedRun:
@@ -90,6 +121,31 @@ class TestResultCache:
         assert first[0].rows == second[0].rows
         assert first[0].checks == second[0].checks
 
+    def test_hit_note_is_idempotent(self, tmp_path):
+        """Satellite: repeated loads never accumulate duplicate notes."""
+        cache = ResultCache(tmp_path)
+        result = run_experiment("tab-star-pd1", sizes=(2, 5))
+        cache.store(result, {})
+        loaded = cache.load("tab-star-pd1", {})
+        # Store the *loaded* result back (hit note and all), then load
+        # again: the note must not double up.
+        cache.store(loaded, {})
+        reloaded = cache.load("tab-star-pd1", {})
+        hit_notes = [
+            note for note in reloaded.notes if note.startswith("cache: hit")
+        ]
+        assert len(hit_notes) == 1
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            assert cache.load("tab-star-pd1", {}) is None
+            cache.store(run_experiment("tab-star-pd1", sizes=(2, 5)), {})
+            assert cache.load("tab-star-pd1", {}) is not None
+            assert cache.load("tab-star-pd1", {}) is not None
+        assert registry.value("cache.misses") == 1
+        assert registry.value("cache.hits") == 2
+
     def test_cached_render_identical(self, tmp_path):
         """A reload renders the same table (values survive JSON)."""
         from repro.analysis.tables import render_table
@@ -101,6 +157,30 @@ class TestResultCache:
         assert render_table(loaded.rows, loaded.headers) == render_table(
             result.rows, result.headers
         )
+
+
+class TestMetricsAggregation:
+    def test_parallel_counters_equal_serial(self):
+        """Acceptance: worker registries merge losslessly into the
+        caller's registry -- --jobs N aggregates the same counters."""
+        with use_registry(MetricsRegistry()) as serial:
+            run_experiments(EXPERIMENTS, jobs=1)
+        with use_registry(MetricsRegistry()) as parallel:
+            run_experiments(EXPERIMENTS, jobs=2)
+        serial_counters = serial.snapshot()["counters"]
+        parallel_counters = parallel.snapshot()["counters"]
+        assert serial_counters == parallel_counters
+        assert serial_counters["experiments.run"] == len(EXPERIMENTS)
+        assert serial_counters["engine.rounds"] > 0
+        assert serial_counters["engine.messages_delivered"] > 0
+
+    def test_timed_run_records_span_histogram(self):
+        with use_registry(MetricsRegistry()) as registry:
+            timed_run("tab-star-pd1", sizes=(2, 5))
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["experiments.run"] == 1
+        assert snapshot["counters"]["experiments.passed"] == 1
+        assert snapshot["histograms"]["span.experiment.run.s"]["count"] == 1
 
 
 class TestExperimentResultSerialisation:

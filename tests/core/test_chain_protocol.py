@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import pytest
-
 from repro.core.counting.chain import (
     ChainLeaderProcess,
     ChainOuterProcess,

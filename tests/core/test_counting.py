@@ -26,7 +26,6 @@ from repro.networks.generators.random_dynamic import RandomConnectedAdversary
 from repro.networks.generators.stars import star_network
 from repro.networks.multigraph import DynamicMultigraph
 from repro.networks.properties import dynamic_diameter, flood_completion_time
-from repro.networks.transform import mdbl_to_pd2
 
 from tests.conftest import schedules_strategy
 

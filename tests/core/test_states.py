@@ -6,7 +6,6 @@ from collections import Counter
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.states import (
     ObservationSequence,

@@ -25,7 +25,6 @@ from repro.core.lowerbound.kernel import closed_form_kernel
 from repro.core.lowerbound.matrices import (
     build_matrix,
     configuration_vector,
-    observation_vector,
 )
 from repro.core.lowerbound.pairs import twin_multigraphs
 from repro.core.solver import feasible_size_interval

@@ -27,7 +27,6 @@ from repro.networks.generators.random_dynamic import (
 from repro.networks.multigraph import DynamicMultigraph
 from repro.simulation.engine import EngineConfig, SynchronousEngine
 from repro.simulation.errors import InfeasibleObservationError
-from repro.simulation.messages import Inbox
 from repro.simulation.node import Process
 from repro.simulation.trace import TraceLevel
 

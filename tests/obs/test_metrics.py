@@ -1,0 +1,145 @@
+"""Tests for the metrics registry and its merge algebra."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    observe,
+    use_registry,
+)
+
+
+def _worker_registry(seed: int) -> MetricsRegistry:
+    """A registry as a pool worker would produce it (distinct per seed)."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        counter("engine.rounds", 3 + seed)
+        counter(f"only.worker{seed}")
+        gauge("sparse.nnz", 100 * (seed + 1))
+        observe("span.experiment.run.s", 0.5 * (seed + 1))
+        observe("span.experiment.run.s", 0.1)
+    return registry
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        registry.counter("x", 4)
+        assert registry.value("x") == 5
+        assert registry.value("never") == 0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", 1)
+        registry.gauge("g", 7)
+        assert registry.snapshot()["gauges"]["g"] == 7
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 5.0, 3.0):
+            registry.observe("h", value)
+        hist = registry.snapshot()["histograms"]["h"]
+        assert hist["count"] == 3
+        assert hist["total"] == 10.0
+        assert hist["min"] == 2.0
+        assert hist["max"] == 5.0
+
+    def test_snapshot_roundtrip(self):
+        registry = _worker_registry(0)
+        clone = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        snapshot = registry.snapshot()
+        registry.counter("x")
+        assert snapshot["counters"]["x"] == 1
+
+    def test_clear(self):
+        registry = _worker_registry(1)
+        registry.clear()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestMergeAlgebra:
+    def test_merge_adds_counters_and_combines_histograms(self):
+        a = _worker_registry(0)
+        a.merge(_worker_registry(1))
+        snapshot = a.snapshot()
+        assert snapshot["counters"]["engine.rounds"] == 3 + 4
+        assert snapshot["counters"]["only.worker0"] == 1
+        assert snapshot["counters"]["only.worker1"] == 1
+        hist = snapshot["histograms"]["span.experiment.run.s"]
+        assert hist["count"] == 4
+        assert hist["min"] == 0.1
+        assert hist["max"] == 1.0
+
+    def test_merge_accepts_registry_or_snapshot(self):
+        via_registry = MetricsRegistry()
+        via_registry.merge(_worker_registry(2))
+        via_snapshot = MetricsRegistry()
+        via_snapshot.merge(_worker_registry(2).snapshot())
+        assert via_registry.snapshot() == via_snapshot.snapshot()
+
+    def test_merge_associative_across_simulated_pool_workers(self):
+        """Acceptance: worker registries fold in any grouping."""
+        workers = [_worker_registry(seed) for seed in range(3)]
+
+        left = MetricsRegistry()  # (a + b) + c
+        left.merge(workers[0])
+        left.merge(workers[1])
+        left.merge(workers[2])
+
+        bc = MetricsRegistry()  # a + (b + c)
+        bc.merge(workers[1])
+        bc.merge(workers[2])
+        right = MetricsRegistry()
+        right.merge(workers[0])
+        right.merge(bc)
+
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_into_empty_is_identity(self):
+        worker = _worker_registry(1)
+        merged = MetricsRegistry()
+        merged.merge(worker)
+        assert merged.snapshot() == worker.snapshot()
+
+
+class TestCurrentRegistry:
+    def test_module_helpers_hit_current_registry(self):
+        before = get_registry().value("helper.test")
+        counter("helper.test")
+        assert get_registry().value("helper.test") == before + 1
+
+    def test_use_registry_isolates_and_restores(self):
+        outer = get_registry()
+        scratch = MetricsRegistry()
+        with use_registry(scratch):
+            assert get_registry() is scratch
+            counter("isolated")
+            with use_registry(MetricsRegistry()) as inner:
+                counter("isolated")
+                assert inner.value("isolated") == 1
+            assert get_registry() is scratch
+        assert get_registry() is outer
+        assert scratch.value("isolated") == 1
+        assert outer.value("isolated") == 0
+
+    def test_use_registry_restores_on_exception(self):
+        outer = get_registry()
+        try:
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_registry() is outer
