@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench experiments report examples all
+.PHONY: install test check bench bench-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,11 @@ check:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast-backend regression gate: object vs vectorized engine on a small
+# sweep, asserting the speedup floor recorded in BENCH_engine.json.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_engine.py --quick
 
 experiments:
 	$(PYTHON) -m repro all

@@ -27,6 +27,7 @@ def baselines_table(
     gossip_sizes: tuple[int, ...] = (16, 64, 256),
     gossip_rounds: int = 60,
     gossip_seed: int = 7,
+    backend: str = "object",
 ) -> ExperimentResult:
     """IDs finish in ``D`` rounds; gossip estimates but never pins.
 
@@ -35,13 +36,17 @@ def baselines_table(
     checks exactness at horizon ``D``.  Part B runs push-sum under a fair
     random adversary and reports the relative estimation error at
     checkpoints.
+
+    Args:
+        backend: Simulation backend for the engine-driven baselines
+            (``"object"`` or ``"fast"``).
     """
     rows = []
     checks: dict[str, bool] = {}
     for n in id_sizes:
         network, layout = worst_case_pd2_network(n)
         measured_d = dynamic_diameter(network, start_rounds=3)
-        outcome = count_with_ids(network, measured_d)
+        outcome = count_with_ids(network, measured_d, backend=backend)
         rows.append(
             {
                 "baseline": "token-ids",
@@ -58,7 +63,9 @@ def baselines_table(
         )
     for n in gossip_sizes:
         adversary = RandomConnectedAdversary(n, seed=gossip_seed)
-        estimates = gossip_size_estimates(adversary, n, gossip_rounds)
+        estimates = gossip_size_estimates(
+            adversary, n, gossip_rounds, backend=backend
+        )
         final = estimates[-1]
         error = abs(final - n) / n
         rows.append(

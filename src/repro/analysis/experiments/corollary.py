@@ -24,6 +24,7 @@ def corollary1_table(
     sizes: tuple[int, ...] = (4, 13, 40),
     chain_lengths: tuple[int, ...] = (0, 2, 4, 8),
     diameter_start_rounds: int = 4,
+    backend: str = "object",
 ) -> ExperimentResult:
     """Measured counting time vs ``D`` on Corollary 1 gadgets.
 
@@ -32,6 +33,10 @@ def corollary1_table(
     exhaustive flooding, measure the flooding (dissemination) time from
     the leader, run the chain counting protocol through the engine, and
     compare against ``corollary1_bound``.
+
+    Args:
+        backend: Simulation backend for the chain counter (``"object"``
+            or ``"fast"``); the table is identical either way.
     """
     rows = []
     checks: dict[str, bool] = {}
@@ -43,7 +48,7 @@ def corollary1_table(
                 network, start_rounds=diameter_start_rounds
             )
             leader_flood = flood_completion_time(network, layout.leader, 0)
-            outcome = count_chain_pd2(core, chain_length)
+            outcome = count_chain_pd2(core, chain_length, backend=backend)
             bound = corollary1_bound(n, chain_length)
             rows.append(
                 {

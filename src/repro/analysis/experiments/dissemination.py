@@ -32,8 +32,15 @@ def token_dissemination(
     sizes: tuple[int, ...] = (8, 16, 32),
     tokens_per_size: tuple[int, ...] = (2, 4),
     seed: int = 3,
+    backend: str = "object",
 ) -> ExperimentResult:
-    """Flooding vs token forwarding over (n, k) combinations."""
+    """Flooding vs token forwarding over (n, k) combinations.
+
+    Args:
+        backend: Simulation backend for the flooding regime (``"object"``
+            or ``"fast"``); token forwarding always runs on the object
+            engine (its per-phase commit state has no array form).
+    """
     rows = []
     checks: dict[str, bool] = {}
     for n in sizes:
@@ -45,7 +52,9 @@ def token_dissemination(
             rng = np.random.default_rng([seed, n, k])
             holders = rng.choice(n, size=k, replace=False)
             assignment = {int(node): token for token, node in enumerate(holders)}
-            flooding = disseminate_by_flooding(network, assignment)
+            flooding = disseminate_by_flooding(
+                network, assignment, backend=backend
+            )
             forwarding = disseminate_by_token_forwarding(network, assignment)
             rows.append(
                 {

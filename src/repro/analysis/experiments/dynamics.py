@@ -34,8 +34,14 @@ def dynamics_families(
     check_rounds: int = 12,
     gossip_rounds: int = 80,
     t_window: int = 3,
+    backend: str = "object",
 ) -> ExperimentResult:
-    """Baselines and structural checks across four dynamics families."""
+    """Baselines and structural checks across four dynamics families.
+
+    Args:
+        backend: Simulation backend for the engine-driven baselines
+            (``"object"`` or ``"fast"``).
+    """
     families = {
         "memoryless-random": RandomConnectedAdversary(
             n, seed=seed
@@ -51,8 +57,10 @@ def dynamics_families(
     for name, network in families.items():
         connected = is_interval_connected(network, check_rounds)
         diameter = dynamic_diameter(network, start_rounds=2)
-        ids_outcome = count_with_ids(network, diameter)
-        estimates = gossip_size_estimates(network, n, gossip_rounds)
+        ids_outcome = count_with_ids(network, diameter, backend=backend)
+        estimates = gossip_size_estimates(
+            network, n, gossip_rounds, backend=backend
+        )
         gossip_error = abs(estimates[-1] - n) / n
         rows.append(
             {

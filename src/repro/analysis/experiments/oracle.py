@@ -80,13 +80,21 @@ def oracle_gap(
 
 
 def star_pd1(
-    *, sizes: tuple[int, ...] = (2, 5, 17, 65, 257, 1025)
+    *,
+    sizes: tuple[int, ...] = (2, 5, 17, 65, 257, 1025),
+    backend: str = "object",
 ) -> ExperimentResult:
-    """Introduction: ``G(PD)_1`` stars are counted in exactly one round."""
+    """Introduction: ``G(PD)_1`` stars are counted in exactly one round.
+
+    Args:
+        sizes: Star sizes to count.
+        backend: Simulation backend (``"object"`` or ``"fast"``); the
+            table is identical either way.
+    """
     rows = []
     checks: dict[str, bool] = {}
     for n in sizes:
-        outcome = count_star(n)
+        outcome = count_star(n, backend=backend)
         rows.append(
             {
                 "|V|": n,

@@ -40,6 +40,7 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 from repro.analysis.registry import (
     ExperimentResult,
     available_experiments,
+    experiment_accepts,
     run_experiment,
 )
 from repro.obs.logger import get_logger
@@ -201,13 +202,16 @@ class ResultCache:
         return path
 
 
-def _timed_task(experiment: str) -> tuple[ExperimentResult, dict[str, Any]]:
+def _timed_task(
+    task: tuple[str, dict[str, Any]],
+) -> tuple[ExperimentResult, dict[str, Any]]:
     # Module-level so ProcessPoolExecutor can pickle it.  Runs under a
     # fresh registry so the task's metrics are isolated (pool workers
     # are reused across tasks) and travel back with the result.
+    experiment, params = task
     registry = MetricsRegistry()
     with use_registry(registry):
-        result = timed_run(experiment)
+        result = timed_run(experiment, **params)
     return result, registry.snapshot()
 
 
@@ -216,6 +220,7 @@ def run_experiments(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    params: dict[str, Any] | None = None,
 ) -> list[ExperimentResult]:
     """Run experiments (default: all registered), possibly in parallel.
 
@@ -224,8 +229,13 @@ def run_experiments(
             DESIGN.md order.  Results come back in the same order.
         jobs: Worker processes for the uncached experiments.
         cache: Optional :class:`ResultCache`; hits skip execution, and
-            fresh results are stored back (default parameters only --
-            the cache key is the empty parameter dict).
+            fresh results are stored back keyed by the parameters each
+            experiment actually received (an empty dict for a default
+            run, so pre-existing caches keep hitting).
+        params: Sweep-wide parameter overrides (e.g.
+            ``{"backend": "fast"}``).  Each experiment receives exactly
+            the subset of keys its signature accepts -- a sweep-wide
+            option need not be understood by every experiment.
 
     Returns:
         One :class:`ExperimentResult` per requested experiment, with
@@ -239,20 +249,31 @@ def run_experiments(
         "running experiments",
         extra={"count": len(names), "jobs": jobs, "cached": cache is not None},
     )
+    applied: dict[str, dict[str, Any]] = {
+        name: {
+            key: value
+            for key, value in (params or {}).items()
+            if experiment_accepts(name, key)
+        }
+        for name in names
+    }
     results: dict[str, ExperimentResult] = {}
     pending: list[str] = []
     for name in names:
-        cached = cache.load(name, {}) if cache is not None else None
+        cached = cache.load(name, applied[name]) if cache is not None else None
         if cached is not None:
             results[name] = cached
         else:
             pending.append(name)
     registry = get_registry()
     for name, (result, snapshot) in zip(
-        pending, parallel_map(_timed_task, pending, jobs=jobs)
+        pending,
+        parallel_map(
+            _timed_task, [(name, applied[name]) for name in pending], jobs=jobs
+        ),
     ):
         registry.merge(snapshot)
         if cache is not None:
-            cache.store(result, {})
+            cache.store(result, applied[name])
         results[name] = result
     return [results[name] for name in names]

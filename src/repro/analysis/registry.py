@@ -12,6 +12,7 @@ only wires names to functions.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -20,6 +21,7 @@ from repro.analysis.tables import format_value, render_table
 __all__ = [
     "ExperimentResult",
     "available_experiments",
+    "experiment_accepts",
     "get_experiment",
     "run_experiment",
 ]
@@ -175,6 +177,21 @@ def get_experiment(experiment: str) -> Callable[..., ExperimentResult]:
             f"{', '.join(registry)}"
         )
     return registry[experiment]
+
+
+def experiment_accepts(experiment: str, param: str) -> bool:
+    """Whether an experiment's signature takes a keyword ``param``.
+
+    Used for sweep-wide options (e.g. ``--backend``) that only some
+    experiments understand: callers pass the option to exactly the
+    experiments that accept it instead of breaking the rest.
+    """
+    parameters = inspect.signature(get_experiment(experiment)).parameters
+    if param in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 def run_experiment(experiment: str, **params: Any) -> ExperimentResult:

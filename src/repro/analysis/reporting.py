@@ -9,6 +9,7 @@ experiment -- the CLI exposes this as ``python -m repro report``.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any
 
 from repro.analysis.parallel import ResultCache, run_experiments
 from repro.analysis.registry import ExperimentResult
@@ -44,6 +45,7 @@ def full_report(
     title: str = "Experiment report",
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
+    params: dict[str, Any] | None = None,
 ) -> str:
     """Run experiments (default: all) and render one Markdown document.
 
@@ -56,12 +58,17 @@ def full_report(
             default, so a report is bit-identical to ``repro all``.
         cache: A :class:`~repro.analysis.parallel.ResultCache` or a
             cache directory path; cached experiments are not re-run.
+        params: Sweep-wide parameter overrides (e.g.
+            ``{"backend": "fast"}``), forwarded per experiment to the
+            ones whose signatures accept them.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     sections = [f"# {title}", ""]
     all_passed = True
-    for result in run_experiments(experiments, jobs=jobs, cache=cache):
+    for result in run_experiments(
+        experiments, jobs=jobs, cache=cache, params=params
+    ):
         sections.append(result_to_markdown(result))
         all_passed &= result.passed
     sections.append(

@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+from typing import Sequence, TypeVar
+
 from repro.obs.logger import get_logger
 
 _log = get_logger("analysis.sweep")
 
-__all__ = ["log_spaced_sizes"]
+__all__ = ["chunked", "log_spaced_sizes"]
+
+_T = TypeVar("_T")
+
+
+def chunked(items: Sequence[_T], size: int) -> list[list[_T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``.
+
+    Used to batch sweep points into fast-backend lane groups: one chunk
+    becomes one fused :class:`~repro.simulation.fast.FastEngine`
+    execution, bounding the stacked matrix size while keeping the batch
+    large enough to amortise per-round overhead.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    items = list(items)
+    return [items[start : start + size] for start in range(0, len(items), size)]
 
 
 def log_spaced_sizes(

@@ -5,8 +5,10 @@ Usage::
     python -m repro list
     python -m repro run tab-kernel-structure
     python -m repro run fig-counting-rounds-vs-n --param max_n=200
+    python -m repro run tab-star-pd1 --backend fast
     python -m repro all
     python -m repro all --jobs 4 --cache-dir .repro-cache
+    python -m repro all --backend fast
     python -m repro report out/report.md --jobs 4
     python -m repro run tab-kernel-structure --metrics-out m.json
     python -m repro all --log-level debug --log-json events.jsonl
@@ -114,8 +116,26 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="override an experiment parameter (repeatable)",
     )
+    run.add_argument(
+        "--backend",
+        choices=["object", "fast"],
+        default="object",
+        help=(
+            "simulation backend: 'object' drives one process object per "
+            "node, 'fast' the vectorized batch engine (default: object)"
+        ),
+    )
     run_all = commands.add_parser(
         "all", parents=[obs_options], help="run every experiment"
+    )
+    run_all.add_argument(
+        "--backend",
+        choices=["object", "fast"],
+        default="object",
+        help=(
+            "simulation backend for the experiments that support one "
+            "(default: object)"
+        ),
     )
     run_all.add_argument(
         "--jobs",
@@ -158,6 +178,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="reuse/store experiment results under PATH (see `all`)",
     )
+    report.add_argument(
+        "--backend",
+        choices=["object", "fast"],
+        default="object",
+        help="simulation backend for supporting experiments (see `all`)",
+    )
     stats = commands.add_parser(
         "stats",
         help="summarise a --metrics-out snapshot or --log-json event file",
@@ -166,12 +192,31 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sweep_params(args: argparse.Namespace) -> dict[str, Any] | None:
+    """Sweep-wide overrides from CLI flags (``None`` when all-default).
+
+    Returning ``None`` for a default (``object``) run keeps cache keys
+    identical to pre-``--backend`` invocations.
+    """
+    return {"backend": args.backend} if args.backend != "object" else None
+
+
 def _execute(args: argparse.Namespace) -> int:
     """Run the instrumented command (``run`` / ``all`` / ``report``)."""
     if args.command == "run":
         from repro.analysis.parallel import timed_run
+        from repro.analysis.registry import experiment_accepts
 
-        result = timed_run(args.experiment, **_parse_params(args.param))
+        params = _parse_params(args.param)
+        if args.backend != "object":
+            if not experiment_accepts(args.experiment, "backend"):
+                raise SystemExit(
+                    f"experiment {args.experiment!r} does not support "
+                    f"--backend {args.backend} (it never touches the "
+                    "simulation engine)"
+                )
+            params.setdefault("backend", args.backend)
+        result = timed_run(args.experiment, **params)
         print(result.render())
         return 0 if result.passed else 1
     if args.command == "report":
@@ -182,6 +227,7 @@ def _execute(args: argparse.Namespace) -> int:
             experiments=args.experiment,
             jobs=args.jobs,
             cache=args.cache_dir,
+            params=_sweep_params(args),
         )
         print(f"report written to {path}")
         return 0
@@ -190,7 +236,9 @@ def _execute(args: argparse.Namespace) -> int:
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     all_passed = True
-    for result in run_experiments(jobs=args.jobs, cache=cache):
+    for result in run_experiments(
+        jobs=args.jobs, cache=cache, params=_sweep_params(args)
+    ):
         print(result.render())
         print()
         all_passed &= result.passed

@@ -19,15 +19,18 @@
 
 from repro.core.counting.base import CountingOutcome
 from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
-from repro.core.counting.flooding import flood_time_via_protocol
-from repro.core.counting.gossip import gossip_size_estimates
+from repro.core.counting.flooding import flood_time_via_protocol, flood_times_batch
+from repro.core.counting.gossip import (
+    gossip_size_estimates,
+    gossip_size_estimates_batch,
+)
 from repro.core.counting.optimal import (
     OptimalLeaderProcess,
     count_mdbl2,
     count_mdbl2_abstract,
 )
 from repro.core.counting.star import count_star, make_star_processes
-from repro.core.counting.token_ids import count_with_ids
+from repro.core.counting.token_ids import count_with_ids, count_with_ids_batch
 
 __all__ = [
     "CountingOutcome",
@@ -37,7 +40,10 @@ __all__ = [
     "count_pd2_with_degree_oracle",
     "count_star",
     "count_with_ids",
+    "count_with_ids_batch",
     "flood_time_via_protocol",
+    "flood_times_batch",
     "gossip_size_estimates",
+    "gossip_size_estimates_batch",
     "make_star_processes",
 ]

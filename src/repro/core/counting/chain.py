@@ -33,12 +33,14 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.core.counting.base import CountingOutcome
+from repro.core.counting.optimal import count_mdbl2_abstract
 from repro.core.solver import feasible_size_interval
 from repro.core.states import ObservationSequence
 from repro.networks.generators.chains import chain_pd2_network
 from repro.networks.multigraph import DynamicMultigraph
 from repro.simulation.engine import EngineConfig, SynchronousEngine
 from repro.simulation.errors import TerminationError
+from repro.simulation.fast import resolve_backend
 from repro.simulation.messages import Inbox
 from repro.simulation.node import Process
 
@@ -173,6 +175,7 @@ def count_chain_pd2(
     chain_length: int,
     *,
     max_rounds: int = 256,
+    backend: str = "object",
 ) -> CountingOutcome:
     """Count the core of a Corollary 1 network through the real engine.
 
@@ -182,11 +185,27 @@ def count_chain_pd2(
         chain_length: Number of static relay nodes between the leader
             and the hubs.
         max_rounds: Engine round budget.
+        backend: ``"object"`` drives every process through the engine;
+            ``"fast"`` exploits the protocol's determinism -- on the
+            static chain the leader's knowledge at round ``r`` is
+            exactly the core's abstract observation prefix up to round
+            ``r - chain_length - 1``, so the outcome is the abstract
+            counter's (:func:`~repro.core.counting.optimal.count_mdbl2_abstract`)
+            shifted by the relay delay.  Same outcome either way (the
+            test suite differential-checks it); the message-level chain
+            state (multisets of frozensets) has no array form, so this
+            is the protocol's closed-form fast path rather than a
+            :class:`~repro.simulation.fast.VectorizedProtocol`.
 
     Returns:
         The outcome; ``count`` is the number of anonymous core nodes
         (``|W|``), matching the other ``M(DBL)_2`` counters.
     """
+    resolve_backend(backend)
+    if backend == "fast":
+        return _count_chain_pd2_fast(
+            multigraph, chain_length, max_rounds=max_rounds
+        )
     network, layout = chain_pd2_network(multigraph, chain_length)
     leader = ChainLeaderProcess()
     processes: list[Process] = [leader]
@@ -207,6 +226,37 @@ def count_chain_pd2(
         count=result.leader_output,
         output_round=result.rounds - 1,
         rounds=result.rounds,
+        algorithm="chain-pd2-optimal",
+        detail={"chain_length": chain_length, "n_nodes": layout.n},
+    )
+
+
+def _count_chain_pd2_fast(
+    multigraph: DynamicMultigraph,
+    chain_length: int,
+    *,
+    max_rounds: int,
+) -> CountingOutcome:
+    """The chain counter's closed form: abstract core + relay delay.
+
+    Every hub observation of round ``t`` reaches the leader at round
+    ``t + chain_length + 1`` (one hub hop plus one hop per relay on the
+    static chain), so the leader terminates exactly ``chain_length + 1``
+    rounds after the bare core's optimal counter would.
+    """
+    delay = chain_length + 1
+    if max_rounds <= delay:
+        raise TerminationError("chain leader did not output")
+    try:
+        core = count_mdbl2_abstract(multigraph, max_rounds=max_rounds - delay)
+    except TerminationError:
+        raise TerminationError("chain leader did not output") from None
+    _network, layout = chain_pd2_network(multigraph, chain_length)
+    rounds = core.rounds + delay
+    return CountingOutcome(
+        count=core.count,
+        output_round=rounds - 1,
+        rounds=rounds,
         algorithm="chain-pd2-optimal",
         detail={"chain_length": chain_length, "n_nodes": layout.n},
     )

@@ -21,15 +21,31 @@ under fair adversaries.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.simulation.engine import (
     DegreeOracleEngine,
     EngineConfig,
     TopologyProvider,
 )
+from repro.simulation.fast import (
+    FastEngine,
+    FastLane,
+    LaneLayout,
+    VectorizedProtocol,
+    resolve_backend,
+)
 from repro.simulation.messages import Inbox
 from repro.simulation.node import Process
 
-__all__ = ["PushSumProcess", "gossip_size_estimates"]
+__all__ = [
+    "PushSumProcess",
+    "VectorizedPushSum",
+    "gossip_size_estimates",
+    "gossip_size_estimates_batch",
+]
 
 
 class PushSumProcess(Process):
@@ -63,12 +79,66 @@ class PushSumProcess(Process):
         return self.x / self.w if self.w > 0 else float("inf")
 
 
+class VectorizedPushSum(VectorizedProtocol):
+    """Push-sum on the fast backend: two matvecs per round, all lanes.
+
+    The mass vectors ``x`` and ``w`` live on the stacked node axis; the
+    per-round split over ``degree + 1`` shares reads the degree straight
+    off the CSR adjacency (the vectorized form of the degree oracle --
+    the oracle tells a node its round-``r`` degree before the send phase
+    of ``r``, which is exactly the degree vector of the round's matrix).
+    Leader estimates are recorded per lane after every round.
+
+    The protocol never commits an output (it is an estimator); run it
+    under ``stop_when="budget"``.  Estimates match the object protocol
+    up to float summation order (the object engine adds inbox shares in
+    multiset-iteration order, the matvec in CSR order).
+    """
+
+    def __init__(self) -> None:
+        self.estimates: list[list[float]] = []
+
+    def allocate(self, layouts: Sequence[LaneLayout]) -> None:
+        self._layouts = list(layouts)
+        total = layouts[-1].stop
+        self.x = np.ones(total, dtype=np.float64)
+        self.w = np.zeros(total, dtype=np.float64)
+        for layout in layouts:
+            self.w[layout.leader] = 1.0
+        self.estimates = [[] for _ in layouts]
+
+    def step(
+        self, round_no: int, adjacency, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        shares = adjacency.degrees + 1.0
+        x_share = self.x / shares
+        w_share = self.w / shares
+        self.x = x_share + adjacency.matvec(x_share)
+        self.w = w_share + adjacency.matvec(w_share)
+        for layout in self._layouts:
+            weight = self.w[layout.leader]
+            self.estimates[layout.index].append(
+                float(self.x[layout.leader] / weight)
+                if weight > 0
+                else float("inf")
+            )
+        sending = np.ones(self.x.shape[0], dtype=bool)
+        return sending, adjacency.degrees
+
+    def output_mask(self) -> np.ndarray:
+        return np.zeros(self.x.shape[0], dtype=bool)
+
+    def outputs_for(self, layout: LaneLayout) -> dict[int, float]:
+        return {}
+
+
 def gossip_size_estimates(
     topology: TopologyProvider,
     n: int,
     rounds: int,
     *,
     leader: int = 0,
+    backend: str = "object",
 ) -> list[float]:
     """Run push-sum for ``rounds`` rounds, returning the leader's estimates.
 
@@ -77,11 +147,18 @@ def gossip_size_estimates(
         n: Number of nodes.
         rounds: How many rounds to run.
         leader: Index of the weight-carrying node.
+        backend: ``"object"`` or ``"fast"``; estimates agree up to float
+            summation order.
 
     Returns:
         ``estimates[r]`` is the leader's ``x / w`` after round ``r``;
         under fair dynamics it converges to ``n``.
     """
+    resolve_backend(backend)
+    if backend == "fast":
+        return gossip_size_estimates_batch(
+            [(topology, n)], rounds, leader=leader
+        )[0]
     processes = [PushSumProcess(index == leader) for index in range(n)]
     estimates: list[float] = []
 
@@ -102,3 +179,30 @@ def gossip_size_estimates(
     engine.run()
     estimates.append(processes[leader].estimate)
     return estimates
+
+
+def gossip_size_estimates_batch(
+    specs: Sequence[tuple[TopologyProvider, int]],
+    rounds: int,
+    *,
+    leader: int = 0,
+) -> list[list[float]]:
+    """Leader estimate curves for many push-sum runs, fused into one batch.
+
+    Every ``(topology, n)`` spec becomes one lane; all lanes run exactly
+    ``rounds`` rounds (``stop_when="budget"``), so a sweep over sizes or
+    seeds advances with two matvecs per round total.  Equivalent to
+    calling :func:`gossip_size_estimates` per spec with
+    ``backend="fast"``.
+    """
+    if not specs:
+        return []
+    protocol = VectorizedPushSum()
+    lanes = [FastLane(topology, n, leader=leader) for topology, n in specs]
+    engine = FastEngine(
+        protocol,
+        lanes,
+        config=EngineConfig(max_rounds=rounds, stop_when="budget"),
+    )
+    engine.run()
+    return [list(curve) for curve in protocol.estimates]

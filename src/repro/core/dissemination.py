@@ -25,18 +25,30 @@ dynamics and tabulates the regime gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.networks.dynamic_graph import DynamicGraph
 from repro.simulation.engine import EngineConfig, SynchronousEngine
 from repro.simulation.errors import ModelError
+from repro.simulation.fast import (
+    FastEngine,
+    FastLane,
+    LaneLayout,
+    VectorizedProtocol,
+    resolve_backend,
+)
 from repro.simulation.messages import Inbox
 from repro.simulation.node import Process
 
 __all__ = [
     "DisseminationResult",
     "TokenFloodProcess",
+    "VectorizedTokenFlood",
     "MinTokenForwardProcess",
     "disseminate_by_flooding",
+    "disseminate_by_flooding_batch",
     "disseminate_by_token_forwarding",
 ]
 
@@ -91,11 +103,84 @@ class TokenFloodProcess(Process):
         self._check_done()
 
 
+class VectorizedTokenFlood(VectorizedProtocol):
+    """Token flooding on the fast backend.
+
+    Per-node token sets are rows of a boolean matrix (stacked nodes by
+    lane-local token columns); a round of set unions is one
+    sparse-by-dense matmul.  A node is done when its row is full; the
+    message total (token-copies transmitted, the object protocol's
+    ``sent`` accounting) sums the row populations of every active lane
+    at each send phase -- including the terminal round, exactly as the
+    object protocol's ``compose`` does.
+
+    Args:
+        assignments: Per-lane ``node -> token`` initial placement.
+        token_counts: Per-lane number of distinct tokens.
+    """
+
+    def __init__(
+        self,
+        assignments: Sequence[dict[int, int]],
+        token_counts: Sequence[int],
+    ) -> None:
+        self._assignments = list(assignments)
+        self._token_counts = [int(count) for count in token_counts]
+        self.messages: list[int] = []
+
+    def allocate(self, layouts: Sequence[LaneLayout]) -> None:
+        if len(self._assignments) != len(layouts):
+            raise ValueError("one assignment per lane required")
+        self._layouts = list(layouts)
+        total = layouts[-1].stop
+        width = max(self._token_counts)
+        self.known = np.zeros((total, width), dtype=bool)
+        self._required = np.zeros(total, dtype=np.int64)
+        for layout, assignment, count in zip(
+            layouts, self._assignments, self._token_counts
+        ):
+            columns = {
+                token: column
+                for column, token in enumerate(sorted(set(assignment.values())))
+            }
+            for node, token in assignment.items():
+                self.known[layout.offset + node, columns[token]] = True
+            self._required[layout.offset : layout.stop] = count
+        self.messages = [0 for _ in layouts]
+
+    def step(
+        self, round_no: int, adjacency, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        total = self.known.shape[0]
+        # Send phase: every node broadcasts its (possibly empty) token
+        # set -- an empty frozenset is still a non-None payload in the
+        # object protocol, so every node counts as sending.
+        held = self.known.sum(axis=1)
+        for layout in self._layouts:
+            if active[layout.offset]:
+                self.messages[layout.index] += int(
+                    held[layout.offset : layout.stop].sum()
+                )
+        sending = np.ones(total, dtype=bool)
+        delivered = adjacency.degrees
+        self.known |= adjacency.matmul(self.known.astype(np.float64)) > 0.0
+        return sending, delivered
+
+    def output_mask(self) -> np.ndarray:
+        return self.known.sum(axis=1) == self._required
+
+    def outputs_for(self, layout: LaneLayout) -> dict[int, bool]:
+        rows = slice(layout.offset, layout.stop)
+        full = self.known[rows].sum(axis=1) == self._required[rows]
+        return {index: True for index in range(layout.n) if full[index]}
+
+
 def disseminate_by_flooding(
     network: DynamicGraph,
     assignment: dict[int, int],
     *,
     max_rounds: int = 10_000,
+    backend: str = "object",
 ) -> DisseminationResult:
     """Disseminate by flooding (the paper's-model trivial algorithm).
 
@@ -103,10 +188,17 @@ def disseminate_by_flooding(
         network: A 1-interval connected dynamic graph.
         assignment: ``node -> token`` initial placement (one token per
             listed node; nodes may share a token value).
+        max_rounds: Engine round budget.
+        backend: ``"object"`` or ``"fast"``; same result either way.
 
     Returns:
         The result; ``rounds`` is at most the dynamic diameter ``D``.
     """
+    resolve_backend(backend)
+    if backend == "fast":
+        return disseminate_by_flooding_batch(
+            [(network, assignment)], max_rounds=max_rounds
+        )[0]
     tokens = _validate_assignment(network, assignment)
     processes = [
         TokenFloodProcess(
@@ -127,6 +219,44 @@ def disseminate_by_flooding(
         tokens=len(tokens),
         messages=sum(process.sent for process in processes),
     )
+
+
+def disseminate_by_flooding_batch(
+    jobs: Sequence[tuple[DynamicGraph, dict[int, int]]],
+    *,
+    max_rounds: int = 10_000,
+) -> list[DisseminationResult]:
+    """Flood-dissemination over many networks, fused into one fast batch.
+
+    Every ``(network, assignment)`` job becomes one lane; equivalent to
+    :func:`disseminate_by_flooding` per job with ``backend="fast"``.
+    """
+    if not jobs:
+        return []
+    token_sets = [
+        _validate_assignment(network, assignment)
+        for network, assignment in jobs
+    ]
+    protocol = VectorizedTokenFlood(
+        [assignment for _, assignment in jobs],
+        [len(tokens) for tokens in token_sets],
+    )
+    lanes = [FastLane(network, network.n, leader=None) for network, _ in jobs]
+    engine = FastEngine(
+        protocol,
+        lanes,
+        config=EngineConfig(max_rounds=max_rounds, stop_when="all"),
+    )
+    return [
+        DisseminationResult(
+            rounds=result.rounds,
+            tokens=len(tokens),
+            messages=protocol.messages[index],
+        )
+        for index, (result, tokens) in enumerate(
+            zip(engine.run(), token_sets)
+        )
+    ]
 
 
 class MinTokenForwardProcess(Process):

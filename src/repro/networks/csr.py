@@ -1,0 +1,222 @@
+"""CSR adjacency lowering for the vectorized simulation backend.
+
+The object engine (:class:`repro.simulation.engine.SynchronousEngine`)
+walks ``networkx`` neighbour lists per process per round -- fine for
+protocol fidelity, but the Python-level loop dominates wall-clock time
+on large sweeps.  The fast backend (:mod:`repro.simulation.fast`)
+instead *lowers* each round's graph once into a compressed-sparse-row
+adjacency matrix so the whole receive phase becomes a single sparse
+matvec (or a dense matmul for set-valued states).
+
+This module owns that lowering:
+
+* :class:`CSRAdjacency` -- an immutable CSR view of one round's graph
+  (degrees, matvec, matmul), validated at construction;
+* :func:`lower_graph` -- ``nx.Graph`` -> :class:`CSRAdjacency` with the
+  engine's model checks (node set ``{0..n-1}``, no self-loops,
+  connectivity);
+* :class:`AdjacencyCache` -- memoizes the lowering *per graph object*,
+  so a :class:`~repro.networks.dynamic_graph.DynamicGraph` that serves
+  the same cached graph under ``extend="hold"``/``"cycle"`` is lowered
+  and validated exactly once instead of once per round;
+* :func:`stack_adjacencies` / :class:`StackCache` -- block-diagonal
+  stacking of independent lanes, so a batch of runs (seeds x sizes of a
+  sweep point) executes as one fused matvec per round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.obs.metrics import counter
+from repro.simulation.errors import TopologyError
+
+__all__ = [
+    "CSRAdjacency",
+    "AdjacencyCache",
+    "StackCache",
+    "lower_graph",
+    "stack_adjacencies",
+]
+
+
+class CSRAdjacency:
+    """One round's communication graph in CSR form.
+
+    Wraps a symmetric ``scipy.sparse`` CSR matrix with unit weights.
+    Instances are produced by :func:`lower_graph` (validated) or
+    :func:`stack_adjacencies` (block-diagonal batch) and treated as
+    immutable.
+
+    Attributes:
+        n: Number of nodes (the matrix is ``n x n``).
+        matrix: The underlying ``scipy.sparse`` CSR array (float64).
+        connected: Whether the graph is connected; ``None`` for stacked
+            batches (a block-diagonal never is, by construction).
+    """
+
+    __slots__ = ("n", "matrix", "connected", "_degrees")
+
+    def __init__(
+        self, matrix: sp.csr_array, *, connected: bool | None
+    ) -> None:
+        self.n = int(matrix.shape[0])
+        self.matrix = matrix
+        self.connected = connected
+        self._degrees: np.ndarray | None = None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree vector (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.matrix.indptr).astype(np.int64)
+        return self._degrees
+
+    @property
+    def edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.matrix.nnz) // 2
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x``: per-node sum of the neighbours' values."""
+        return self.matrix @ x
+
+    def matmul(self, X: np.ndarray) -> np.ndarray:
+        """``A @ X`` for a dense per-node state matrix ``X``."""
+        return self.matrix @ X
+
+    def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
+        """Boolean per node: does any neighbour have ``mask`` set?"""
+        return (self.matrix @ mask.astype(np.float64)) > 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRAdjacency(n={self.n}, edges={self.edges}, "
+            f"connected={self.connected})"
+        )
+
+
+def lower_graph(graph: nx.Graph, *, n: int | None = None) -> CSRAdjacency:
+    """Lower one ``nx.Graph`` to a validated :class:`CSRAdjacency`.
+
+    Performs the engine's model checks once, at lowering time:
+
+    * the node set must be exactly ``{0, ..., n-1}``,
+    * self-loops are rejected (a process is never its own neighbour),
+    * connectivity is computed and recorded (callers enforce the
+      1-interval connectivity assumption against ``.connected``).
+
+    Args:
+        graph: The round's communication graph.
+        n: Expected node count; defaults to ``graph.number_of_nodes()``.
+
+    Raises:
+        TopologyError: Node set mismatch or self-loop.
+    """
+    expected = graph.number_of_nodes() if n is None else n
+    if graph.number_of_nodes() != expected or set(graph.nodes) != set(
+        range(expected)
+    ):
+        raise TopologyError(
+            f"graph nodes {sorted(graph.nodes)[:10]}... do not match the "
+            f"process indices 0..{expected - 1}"
+        )
+    loops = [node for node, _ in nx.selfloop_edges(graph)]
+    if loops:
+        raise TopologyError(
+            f"self-loop at node(s) {sorted(loops)[:10]}; a process is "
+            "never its own neighbour"
+        )
+    matrix = nx.to_scipy_sparse_array(
+        graph, nodelist=range(expected), dtype=np.float64, format="csr"
+    )
+    if expected <= 1:
+        connected = True
+    else:
+        connected = (
+            connected_components(
+                matrix, directed=False, return_labels=False
+            )
+            == 1
+        )
+    counter("adjacency.builds")
+    return CSRAdjacency(matrix, connected=bool(connected))
+
+
+class AdjacencyCache:
+    """Memoize :func:`lower_graph` per graph *object*.
+
+    Keys are object identities; the cache holds a strong reference to
+    each lowered graph so identities stay stable for the cache's
+    lifetime.  A provider that serves the same cached graph for many
+    rounds (``extend="hold"``, ``"cycle"``, any static topology) pays
+    for validation and lowering exactly once.
+
+    Mutating a graph after it has been lowered is unsupported (the
+    memoized adjacency would go stale) -- the same contract the object
+    engine's per-round validation memo has.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, tuple[nx.Graph, CSRAdjacency]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def lower(self, graph: nx.Graph, *, n: int | None = None) -> CSRAdjacency:
+        """The memoized CSR adjacency of ``graph``."""
+        cached = self._by_id.get(id(graph))
+        if cached is not None and cached[0] is graph:
+            counter("adjacency.cache_hits")
+            return cached[1]
+        adjacency = lower_graph(graph, n=n)
+        self._by_id[id(graph)] = (graph, adjacency)
+        return adjacency
+
+
+def stack_adjacencies(parts: Sequence[CSRAdjacency]) -> CSRAdjacency:
+    """Block-diagonally stack independent lanes into one adjacency.
+
+    The stacked matrix never mixes nodes across lanes, so one matvec on
+    it is exactly the per-lane matvecs fused -- the batched execution
+    primitive of the fast backend.
+    """
+    if not parts:
+        raise ValueError("need at least one adjacency to stack")
+    if len(parts) == 1:
+        return parts[0]
+    matrix = sp.block_diag([part.matrix for part in parts], format="csr")
+    counter("adjacency.stack_builds")
+    return CSRAdjacency(sp.csr_array(matrix), connected=None)
+
+
+class StackCache:
+    """Memoize :func:`stack_adjacencies` per tuple of part identities.
+
+    On static or ``hold``-extended dynamics every round stacks the same
+    per-lane adjacencies, so the fused matrix is built once per distinct
+    combination instead of once per round.
+    """
+
+    def __init__(self) -> None:
+        self._by_ids: dict[
+            tuple[int, ...], tuple[tuple[CSRAdjacency, ...], CSRAdjacency]
+        ] = {}
+
+    def stack(self, parts: Iterable[CSRAdjacency]) -> CSRAdjacency:
+        parts = tuple(parts)
+        key = tuple(id(part) for part in parts)
+        cached = self._by_ids.get(key)
+        if cached is not None and all(
+            kept is part for kept, part in zip(cached[0], parts)
+        ):
+            counter("adjacency.stack_hits")
+            return cached[1]
+        stacked = stack_adjacencies(parts)
+        self._by_ids[key] = (parts, stacked)
+        return stacked

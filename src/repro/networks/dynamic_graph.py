@@ -19,6 +19,7 @@ from collections.abc import Callable, Sequence
 
 import networkx as nx
 
+from repro.networks.csr import AdjacencyCache, CSRAdjacency
 from repro.simulation.errors import ModelError, TopologyError
 
 __all__ = ["DynamicGraph"]
@@ -52,6 +53,7 @@ class DynamicGraph:
         self.name = name
         self._provider = provider
         self._cache: dict[int, nx.Graph] = {}
+        self._adjacency = AdjacencyCache()
 
     @classmethod
     def from_graphs(
@@ -114,6 +116,17 @@ class DynamicGraph:
     def graph(self, round_no: int, processes: object = None) -> nx.Graph:
         """Topology-provider interface for the simulation engine."""
         return self.at(round_no)
+
+    def to_csr(self, round_no: int) -> CSRAdjacency:
+        """The round's graph lowered to CSR adjacency (fast backend).
+
+        Lowering runs the model checks (node set, self-loops,
+        connectivity) and is memoized per cached graph object: a
+        provider that serves the same graph for many rounds (static
+        topologies, ``extend="hold"``/``"cycle"``) is validated and
+        lowered once, not once per round.
+        """
+        return self._adjacency.lower(self.at(round_no), n=self.n)
 
     def window(self, rounds: int) -> list[nx.Graph]:
         """Return the graphs of rounds ``0..rounds-1``."""

@@ -19,6 +19,9 @@ Main entry points:
 * :class:`repro.simulation.labeled.LabeledStarEngine` -- run a protocol on
   a dynamic bipartite labeled multigraph (the ``M(DBL)_k`` model).
 * :class:`repro.simulation.node.Process` -- base class for protocols.
+* :class:`repro.simulation.fast.FastEngine` -- vectorized batch backend
+  for protocols implementing
+  :class:`repro.simulation.fast.VectorizedProtocol`.
 """
 
 from repro.simulation.engine import EngineConfig, SimulationResult, SynchronousEngine
@@ -36,9 +39,12 @@ from repro.simulation.trace import RoundRecord, SimulationTrace, TraceLevel
 
 __all__ = [
     "EngineConfig",
+    "FastEngine",
+    "FastLane",
     "Inbox",
     "LabeledInbox",
     "LabeledStarEngine",
+    "LaneLayout",
     "LeaderAware",
     "Process",
     "ProtocolViolationError",
@@ -51,4 +57,19 @@ __all__ = [
     "TerminationError",
     "TopologyError",
     "TraceLevel",
+    "VectorizedProtocol",
 ]
+
+# The fast backend pulls in repro.networks (CSR lowering), which itself
+# depends back on simulation errors and core state modules; importing it
+# eagerly here would close an import cycle during package init.  Resolve
+# the fast-backend names lazily instead (PEP 562).
+_FAST_EXPORTS = {"FastEngine", "FastLane", "LaneLayout", "VectorizedProtocol"}
+
+
+def __getattr__(name: str):
+    if name in _FAST_EXPORTS:
+        from repro.simulation import fast
+
+        return getattr(fast, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -97,13 +97,25 @@ class EngineConfig:
             exactly ``max_rounds`` rounds.
         require_connected: Verify that every round's graph is connected
             (the 1-interval connectivity assumption).  Enabled by default
-            because every model in the paper assumes it.
+            because every model in the paper assumes it.  Graph
+            validation is memoized per graph object, so a provider that
+            serves the same cached graph for many rounds is checked
+            once.
+        validate_payloads: Debug flag: verify every broadcast payload is
+            hashable during the send phase.  Off by default -- the check
+            runs ``hash(payload)`` for every process every round, which
+            is measurable on the hot path; enable it when developing a
+            new protocol (unhashable payloads surface as a
+            :class:`ProtocolViolationError` at the offending round
+            instead of a confusing failure wherever a multiset view is
+            first taken).
         trace_level: How much per-round detail to record.
     """
 
     max_rounds: int = 10_000
     stop_when: str = "leader"
     require_connected: bool = True
+    validate_payloads: bool = False
     trace_level: TraceLevel = TraceLevel.NONE
 
     def __post_init__(self) -> None:
@@ -178,6 +190,10 @@ class SynchronousEngine:
             raise ValueError(f"leader index {leader} out of range")
         if self.config.stop_when == "leader" and leader is None:
             raise ValueError("stop_when='leader' requires a leader index")
+        # Validation memo: graph objects already checked this run.  Holds
+        # strong references so object identities stay stable; mutating a
+        # previously served graph between rounds is unsupported.
+        self._validated: dict[int, nx.Graph] = {}
 
     def run(self) -> SimulationResult:
         """Execute rounds until the stop criterion is met.
@@ -230,6 +246,9 @@ class SynchronousEngine:
     def _validated_graph(self, round_no: int, expected_nodes: set[int]) -> nx.Graph:
         graph = self.topology.graph(round_no, self.processes)
         counter("engine.graphs")
+        cached = self._validated.get(id(graph))
+        if cached is graph:
+            return graph
         if set(graph.nodes) != expected_nodes:
             raise TopologyError(
                 f"round {round_no}: graph nodes {sorted(graph.nodes)[:10]}... "
@@ -252,6 +271,7 @@ class SynchronousEngine:
                 f"round {round_no}: graph is disconnected but 1-interval "
                 "connectivity is required"
             )
+        self._validated[id(graph)] = graph
         return graph
 
     def _before_send(self, round_no: int, graph: nx.Graph) -> None:
@@ -269,10 +289,11 @@ class SynchronousEngine:
         self._before_send(round_no, graph)
         # Send phase: every process composes its broadcast payload before
         # any delivery happens (the two phases are globally synchronous).
+        validate = self.config.validate_payloads
         payloads: list[Any] = []
         for process in self.processes:
             payload = process.compose(round_no)
-            if payload is not None:
+            if validate and payload is not None:
                 try:
                     hash(payload)
                 except TypeError as exc:
@@ -366,8 +387,18 @@ class DegreeOracleEngine(SynchronousEngine):
     ``O(1)`` -- the gap measured by ``benchmarks/bench_oracle.py``.
     """
 
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Resolve the observers once: the set of processes is fixed for
+        # the engine's lifetime, so the per-round ``getattr`` over every
+        # process was pure hot-path overhead.  Processes that grow an
+        # ``observe_degree`` attribute after construction are not seen.
+        self._observers: list[tuple[int, Callable[[int, int], None]]] = [
+            (index, observe)
+            for index, process in enumerate(self.processes)
+            if (observe := getattr(process, "observe_degree", None)) is not None
+        ]
+
     def _before_send(self, round_no: int, graph: nx.Graph) -> None:
-        for index, process in enumerate(self.processes):
-            observe = getattr(process, "observe_degree", None)
-            if observe is not None:
-                observe(round_no, graph.degree(index))
+        for index, observe in self._observers:
+            observe(round_no, graph.degree(index))

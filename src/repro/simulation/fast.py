@@ -1,0 +1,384 @@
+"""The vectorized batch simulation backend.
+
+:class:`~repro.simulation.engine.SynchronousEngine` executes one Python
+``compose``/``deliver`` call per process per round -- full protocol
+fidelity, but the interpreter loop dominates wall-clock time on large
+sweeps.  This module provides the *fast backend*: a second execution
+path that compiles a round into array operations.
+
+* Topologies are lowered once to CSR adjacency
+  (:mod:`repro.networks.csr`), with the model checks (node set,
+  self-loops, connectivity) memoized per graph object instead of
+  recomputed every round.
+* Protocols whose per-round receive phase is an aggregation over the
+  multiset of received values implement :class:`VectorizedProtocol`:
+  state lives in NumPy arrays over a flat node axis and one ``step``
+  performs the whole receive phase as a sparse matvec / histogram.
+* Many independent runs (seeds x sizes of a sweep point) are stacked
+  block-diagonally into *lanes* of one :class:`FastEngine`, so a batch
+  advances with a single fused matvec per round.
+
+The object engine remains the semantics oracle: round counts, outputs,
+stop-criterion behaviour, and the ``engine.*`` counters of a fast run
+are defined to equal the object engine's on the same workload, and the
+test suite differential-tests exactly that (floating-point protocols
+match to within accumulation order).  The fast path intentionally does
+not support tracing -- re-run on the object engine to inspect a
+round-by-round trace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.networks.csr import AdjacencyCache, CSRAdjacency, StackCache
+from repro.obs.logger import get_logger
+from repro.obs.metrics import counter
+from repro.obs.spans import span
+from repro.simulation.engine import EngineConfig, SimulationResult
+from repro.simulation.errors import TerminationError, TopologyError
+from repro.simulation.trace import SimulationTrace, TraceLevel
+
+_log = get_logger("simulation.fast")
+
+__all__ = [
+    "BACKENDS",
+    "FastEngine",
+    "FastLane",
+    "LaneLayout",
+    "VectorizedProtocol",
+    "resolve_backend",
+]
+
+BACKENDS = ("object", "fast")
+"""The two execution backends: ``"object"`` is the per-process oracle
+engine, ``"fast"`` the vectorized batch engine of this module."""
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a ``backend=`` argument, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class FastLane:
+    """One independent run inside a batched fast execution.
+
+    Attributes:
+        topology: The lane's adversary -- anything the object engine
+            accepts: a :class:`~repro.networks.DynamicGraph` (its
+            ``to_csr`` memoization is used directly), an object with a
+            ``graph(round_no, processes)`` method, or a plain
+            ``f(round_no) -> nx.Graph`` callable.
+        n: Number of nodes of this lane.
+        leader: Leader index within the lane (``None`` for leaderless
+            protocols), mirroring the object engine's argument.
+    """
+
+    topology: Any
+    n: int
+    leader: int | None = 0
+
+
+@dataclass(frozen=True)
+class LaneLayout:
+    """Where a lane's nodes live on the stacked node axis.
+
+    Attributes:
+        index: Lane position in the batch.
+        offset: First global node index of the lane.
+        n: Lane size; the lane spans ``[offset, offset + n)``.
+        leader: Global index of the lane's leader (``None`` if leaderless).
+    """
+
+    index: int
+    offset: int
+    n: int
+    leader: int | None
+
+    @property
+    def stop(self) -> int:
+        """One past the lane's last global node index."""
+        return self.offset + self.n
+
+
+class VectorizedProtocol(ABC):
+    """A protocol whose rounds execute as array operations.
+
+    Implementations hold all state as arrays over the *stacked* node
+    axis (all lanes concatenated).  The engine drives:
+
+    1. :meth:`allocate` once, with the lane layouts;
+    2. :meth:`step` once per round with the stacked adjacency -- the
+       whole send+receive phase, returning the round's traffic so the
+       engine can keep the object engine's message counters exact;
+    3. :meth:`output_mask` after each round for the stop criterion.
+
+    Because lanes of a batch may stop at different rounds while the
+    batch keeps stepping, ``step`` must be *stable after termination*:
+    once a lane's stop criterion holds, further steps must not change
+    that lane's outputs (every protocol here is monotone or commits its
+    output exactly once, so this holds by construction).
+    """
+
+    @abstractmethod
+    def allocate(self, layouts: Sequence[LaneLayout]) -> None:
+        """Allocate state arrays for the given lane layouts."""
+
+    @abstractmethod
+    def step(
+        self, round_no: int, adjacency: CSRAdjacency, active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Execute one synchronous round over all lanes at once.
+
+        Args:
+            round_no: The global round number.
+            adjacency: Block-diagonal stacked adjacency of this round.
+            active: Boolean per *node*: does the node belong to a lane
+                whose stop criterion has not yet been met?  Protocols
+                that account per-round traffic of their own (message
+                totals) must restrict that accounting to active nodes;
+                state updates always cover all nodes.
+
+        Returns:
+            ``(sending, delivered)``: per-node boolean "broadcast a
+            non-``None`` payload this round" and per-node count of
+            payloads received.  The engine reduces these per lane into
+            the ``engine.messages_sent`` / ``engine.messages_delivered``
+            counters so fast-vs-object metric equality is checkable.
+        """
+
+    @abstractmethod
+    def output_mask(self) -> np.ndarray:
+        """Boolean per node: has the node committed an output?"""
+
+    @abstractmethod
+    def outputs_for(self, layout: LaneLayout) -> dict[int, Any]:
+        """Outputs of one lane, keyed by lane-local node index."""
+
+
+class FastEngine:
+    """Drive a :class:`VectorizedProtocol` over batched lanes.
+
+    Semantics mirror :class:`~repro.simulation.engine.SynchronousEngine`
+    per lane: the same stop criteria (``leader``/``all``/``any``/
+    ``budget``), the same round accounting (a lane's terminal round is
+    executed in full), the same :class:`TerminationError` on budget
+    exhaustion, and the same per-round validation rules -- performed
+    once per distinct graph object through the adjacency cache.
+
+    Args:
+        protocol: The vectorized protocol instance (one per engine).
+        lanes: The independent runs to stack; a single lane is the
+            un-batched case.
+        config: Engine configuration (``trace_level`` must be ``NONE``:
+            the fast path records no traces).
+
+    Example:
+        >>> from repro.core.counting.star import VectorizedStar
+        >>> from repro.networks.generators.stars import star_network
+        >>> engine = FastEngine(
+        ...     VectorizedStar(),
+        ...     [FastLane(star_network(5), 5, leader=0)],
+        ...     config=EngineConfig(max_rounds=4),
+        ... )
+        >>> engine.run()[0].leader_output
+        5
+    """
+
+    def __init__(
+        self,
+        protocol: VectorizedProtocol,
+        lanes: Sequence[FastLane],
+        *,
+        config: EngineConfig | None = None,
+        round_hook: Callable[[int], None] | None = None,
+    ) -> None:
+        if not lanes:
+            raise ValueError("need at least one lane")
+        self.config = config or EngineConfig()
+        if self.config.trace_level != TraceLevel.NONE:
+            raise ValueError(
+                "the fast backend does not record traces; run the object "
+                "engine (backend='object') to trace an execution"
+            )
+        self.protocol = protocol
+        self.lanes = list(lanes)
+        self.round_hook = round_hook
+        offsets = np.concatenate(
+            ([0], np.cumsum([lane.n for lane in self.lanes]))
+        ).astype(np.int64)
+        self.layouts: list[LaneLayout] = []
+        for index, lane in enumerate(self.lanes):
+            if lane.n < 1:
+                raise ValueError("every lane needs at least one node")
+            if lane.leader is not None and not 0 <= lane.leader < lane.n:
+                raise ValueError(
+                    f"lane {index}: leader index {lane.leader} out of range"
+                )
+            if self.config.stop_when == "leader" and lane.leader is None:
+                raise ValueError("stop_when='leader' requires a leader index")
+            offset = int(offsets[index])
+            leader = None if lane.leader is None else offset + lane.leader
+            self.layouts.append(LaneLayout(index, offset, lane.n, leader))
+        self._offsets = offsets
+        self.total_nodes = int(offsets[-1])
+        self._caches = [AdjacencyCache() for _ in self.lanes]
+        self._stack = StackCache()
+
+    # -- adjacency ----------------------------------------------------
+
+    def _lane_adjacency(self, lane_index: int, round_no: int) -> CSRAdjacency:
+        lane = self.lanes[lane_index]
+        to_csr = getattr(lane.topology, "to_csr", None)
+        if to_csr is not None:
+            adjacency = to_csr(round_no)
+        else:
+            graph_of = getattr(lane.topology, "graph", None)
+            graph = (
+                graph_of(round_no, None)
+                if graph_of is not None
+                else lane.topology(round_no)
+            )
+            adjacency = self._caches[lane_index].lower(graph, n=lane.n)
+        if adjacency.n != lane.n:
+            raise TopologyError(
+                f"round {round_no}: lane {lane_index} produced {adjacency.n} "
+                f"nodes, expected {lane.n}"
+            )
+        if (
+            self.config.require_connected
+            and lane.n > 1
+            and not adjacency.connected
+        ):
+            raise TopologyError(
+                f"round {round_no}: lane {lane_index} graph is disconnected "
+                "but 1-interval connectivity is required"
+            )
+        return adjacency
+
+    def _stacked_adjacency(self, round_no: int) -> CSRAdjacency:
+        parts = [
+            self._lane_adjacency(index, round_no)
+            for index in range(len(self.lanes))
+        ]
+        return self._stack.stack(parts)
+
+    # -- stop criteria ------------------------------------------------
+
+    def _lane_done(self, mask: np.ndarray) -> np.ndarray:
+        """Per-lane boolean: stop criterion met, given the output mask."""
+        stop_when = self.config.stop_when
+        if stop_when == "budget":
+            return np.zeros(len(self.lanes), dtype=bool)
+        if stop_when == "leader":
+            return np.array(
+                [mask[layout.leader] for layout in self.layouts], dtype=bool
+            )
+        per_lane = np.add.reduceat(mask.astype(np.int64), self._offsets[:-1])
+        if stop_when == "all":
+            sizes = np.diff(self._offsets)
+            return per_lane == sizes
+        return per_lane > 0  # "any"
+
+    # -- execution ----------------------------------------------------
+
+    def run(self) -> list[SimulationResult]:
+        """Execute all lanes; one :class:`SimulationResult` per lane.
+
+        Raises:
+            TerminationError: Some lane did not meet the stop criterion
+                within ``config.max_rounds`` (never for ``"budget"``).
+            TopologyError: A lane produced an invalid graph.
+        """
+        config = self.config
+        counter("engine.fast.batches")
+        counter("engine.runs", len(self.lanes))
+        self.protocol.allocate(self.layouts)
+        rounds_done = np.full(len(self.lanes), -1, dtype=np.int64)
+        lane_active = np.ones(len(self.lanes), dtype=bool)
+        sizes = np.diff(self._offsets)
+        stats = {"rounds": 0, "graphs": 0, "sent": 0, "delivered": 0}
+        with span(
+            "engine.fast.run",
+            lanes=len(self.lanes),
+            nodes=self.total_nodes,
+            stop_when=config.stop_when,
+        ):
+            for round_no in range(config.max_rounds):
+                adjacency = self._stacked_adjacency(round_no)
+                active_nodes = np.repeat(lane_active, sizes)
+                sending, delivered = self.protocol.step(
+                    round_no, adjacency, active_nodes
+                )
+                counter("engine.fast.fused_rounds")
+                # Per-lane traffic, counted exactly like the object
+                # engine: only lanes still running execute the round.
+                sent_by_lane = np.add.reduceat(
+                    sending.astype(np.int64), self._offsets[:-1]
+                )
+                delivered_by_lane = np.add.reduceat(
+                    np.asarray(delivered, dtype=np.int64), self._offsets[:-1]
+                )
+                active_count = int(lane_active.sum())
+                stats["rounds"] += active_count
+                stats["graphs"] += active_count
+                stats["sent"] += int(sent_by_lane[lane_active].sum())
+                stats["delivered"] += int(
+                    delivered_by_lane[lane_active].sum()
+                )
+                if self.round_hook is not None:
+                    self.round_hook(round_no)
+                newly_done = lane_active & self._lane_done(
+                    self.protocol.output_mask()
+                )
+                rounds_done[newly_done] = round_no + 1
+                lane_active &= ~newly_done
+                if not lane_active.any():
+                    break
+            if config.stop_when == "budget":
+                rounds_done[lane_active] = config.max_rounds
+                lane_active[:] = False
+            if lane_active.any():
+                stuck = [int(i) for i in np.flatnonzero(lane_active)[:10]]
+                raise TerminationError(
+                    f"stop criterion {config.stop_when!r} not met within "
+                    f"{config.max_rounds} rounds (lanes {stuck})"
+                )
+        counter("engine.rounds", stats["rounds"])
+        counter("engine.graphs", stats["graphs"])
+        counter("engine.messages_sent", stats["sent"])
+        counter("engine.messages_delivered", stats["delivered"])
+        _log.debug(
+            "fast batch finished",
+            extra={
+                "lanes": len(self.lanes),
+                "nodes": self.total_nodes,
+                "lane_rounds": int(rounds_done.max(initial=0)),
+            },
+        )
+        return [self._lane_result(layout, rounds_done) for layout in self.layouts]
+
+    def _lane_result(
+        self, layout: LaneLayout, rounds_done: np.ndarray
+    ) -> SimulationResult:
+        outputs = self.protocol.outputs_for(layout)
+        leader_local = self.lanes[layout.index].leader
+        leader_output = (
+            outputs.get(leader_local) if leader_local is not None else None
+        )
+        return SimulationResult(
+            rounds=int(rounds_done[layout.index]),
+            outputs=outputs,
+            leader_output=leader_output,
+            terminated=True,
+            trace=SimulationTrace(level=TraceLevel.NONE),
+        )

@@ -85,3 +85,59 @@ class TestFromGraphs:
     def test_bad_extend_rule(self):
         with pytest.raises(ValueError):
             DynamicGraph.from_graphs([path(2)], extend="loop")
+
+    def test_hold_repeats_last_graph_object(self):
+        graph = DynamicGraph.from_graphs([path(3), nx.cycle_graph(3)])
+        assert graph.at(2) is graph.at(99)
+
+    def test_cycle_wraps_to_prefix_objects(self):
+        graph = DynamicGraph.from_graphs(
+            [path(3), nx.cycle_graph(3)], extend="cycle"
+        )
+        assert graph.at(4) is graph.at(0)
+        assert graph.at(7) is graph.at(1)
+
+    def test_strict_serves_full_prefix(self):
+        graphs = [path(3), nx.cycle_graph(3), nx.star_graph(2)]
+        graph = DynamicGraph.from_graphs(graphs, extend="strict")
+        for round_no, expected in enumerate(graphs):
+            assert set(graph.at(round_no).edges()) == set(expected.edges())
+
+    def test_mismatched_node_labels_rejected(self):
+        shifted = nx.relabel_nodes(path(3), {0: 10, 1: 11, 2: 12})
+        with pytest.raises(ModelError, match="static"):
+            DynamicGraph.from_graphs([path(3), shifted])
+
+
+class TestToCSR:
+    def test_matches_graph(self):
+        graph = DynamicGraph.from_graphs([path(4)])
+        adjacency = graph.to_csr(0)
+        assert adjacency.n == 4
+        assert adjacency.edges == 3
+        assert adjacency.connected is True
+        assert list(adjacency.degrees) == [1, 2, 2, 1]
+
+    def test_memoized_per_graph_object(self):
+        graph = DynamicGraph.from_graphs([path(3)], extend="hold")
+        first = graph.to_csr(0)
+        assert graph.to_csr(7) is first
+
+    def test_cycle_extension_lowers_each_prefix_graph_once(self):
+        graph = DynamicGraph.from_graphs(
+            [path(3), nx.cycle_graph(3)], extend="cycle"
+        )
+        lowered = {id(graph.to_csr(round_no)) for round_no in range(6)}
+        assert len(lowered) == 2
+
+    def test_fresh_graphs_lowered_per_round(self):
+        graph = DynamicGraph(3, lambda r: path(3))
+        assert graph.to_csr(0) is not graph.to_csr(1)
+        assert graph.to_csr(1) is graph.to_csr(1)
+
+    def test_invalid_graph_rejected(self):
+        graph = DynamicGraph(3, lambda r: path(3))
+        loop = graph.at(0)
+        loop.add_edge(1, 1)
+        with pytest.raises(TopologyError, match="self-loop"):
+            graph.to_csr(0)

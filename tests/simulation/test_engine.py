@@ -256,7 +256,7 @@ class TestEngineValidation:
         )
         assert engine.run().rounds == 1
 
-    def test_unhashable_payload_raises(self):
+    def test_unhashable_payload_raises_with_validation(self):
         class Bad(Process):
             def compose(self, round_no):
                 return [1, 2]
@@ -268,10 +268,67 @@ class TestEngineValidation:
             [Bad(), Bad()],
             lambda r: nx.path_graph(2),
             leader=None,
-            config=EngineConfig(stop_when="budget", max_rounds=1),
+            config=EngineConfig(
+                stop_when="budget", max_rounds=1, validate_payloads=True
+            ),
         )
         with pytest.raises(ProtocolViolationError, match="unhashable"):
             engine.run()
+
+    def test_payload_validation_off_by_default(self):
+        """The hashability check is a debug flag, off on the hot path."""
+
+        class Bad(Process):
+            def compose(self, round_no):
+                return [1, 2]
+
+            def deliver(self, round_no, inbox):
+                self.inbox = inbox
+
+        engine = SynchronousEngine(
+            [Bad(), Bad()],
+            lambda r: nx.path_graph(2),
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=1),
+        )
+        assert engine.run().rounds == 1
+
+    def test_graph_validation_memoized_per_object(self):
+        """A held graph object is validated once, not once per round."""
+        graph = nx.path_graph(3)
+        calls = 0
+        real_is_connected = nx.is_connected
+
+        def counting_is_connected(g):
+            nonlocal calls
+            calls += 1
+            return real_is_connected(g)
+
+        engine = SynchronousEngine(
+            [EchoProcess(), EchoProcess(), EchoProcess()],
+            lambda r: graph,
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=5),
+        )
+        import repro.simulation.engine as engine_mod
+
+        original = engine_mod.nx.is_connected
+        engine_mod.nx.is_connected = counting_is_connected
+        try:
+            engine.run()
+        finally:
+            engine_mod.nx.is_connected = original
+        assert calls == 1
+
+    def test_fresh_graphs_each_round_all_validated(self):
+        """Distinct graph objects are each validated (no false hits)."""
+        engine = SynchronousEngine(
+            [EchoProcess(), EchoProcess()],
+            lambda r: nx.path_graph(2) if r % 2 == 0 else nx.Graph([(0, 1)]),
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=4),
+        )
+        assert engine.run().rounds == 4
 
     def test_invalid_config(self):
         with pytest.raises(ValueError):
@@ -389,3 +446,27 @@ class TestDegreeOracleEngine:
             config=EngineConfig(stop_when="budget", max_rounds=1),
         )
         assert engine.run().rounds == 1
+
+    def test_observers_resolved_at_construction(self):
+        """The observer list is built once, not via getattr per round."""
+        observed = []
+
+        class Observer(Process):
+            def observe_degree(self, round_no, degree):
+                observed.append((round_no, degree))
+
+            def compose(self, round_no):
+                return "x"
+
+            def deliver(self, round_no, inbox):
+                pass
+
+        engine = DegreeOracleEngine(
+            [Observer(), EchoProcess()],
+            lambda r: nx.path_graph(2),
+            leader=None,
+            config=EngineConfig(stop_when="budget", max_rounds=3),
+        )
+        assert engine._observers and engine._observers[0][0] == 0
+        engine.run()
+        assert observed == [(0, 1), (1, 1), (2, 1)]
