@@ -10,9 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Experiments exercised by the fault/resume smoke (small, fast ones).
+SMOKE_EXPERIMENTS = --experiment tab-star-pd1 --experiment tab-kernel-structure \
+	--experiment fig1-pd2-example --experiment fig2-transformation
+
 # Tier-1 gate: lint, the full test suite, plus CLI smoke runs
-# exercising the sparse backend, the parallel experiment runner, and
-# the observability layer (metrics snapshot must parse).
+# exercising the sparse backend, the parallel experiment runner, the
+# observability layer (metrics snapshot must parse), and the
+# fault-tolerant runtime (injected faults, checkpoint resume).
 check:
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
 	else echo "ruff not installed; skipping lint"; fi
@@ -22,6 +27,19 @@ check:
 	assert s['counters']['experiments.run'] == 1, s"
 	@rm -f .check-metrics.json
 	$(PYTHON) -m repro all --jobs 2
+	# Fault-tolerance smoke: a transient fault is retried away; a killed
+	# worker aborts the sweep; --resume finishes it from the journal
+	# without re-running completed tasks (see docs/ROBUSTNESS.md).
+	$(PYTHON) -m repro run tab-kernel-structure --inject-fault raise@0 --retries 2
+	@rm -rf .check-cache .check-report.md
+	! $(PYTHON) -m repro report .check-report.md $(SMOKE_EXPERIMENTS) \
+		--jobs 2 --cache-dir .check-cache --inject-fault kill@2 --retries 0 \
+		2> /dev/null
+	test -s .check-cache/journal.jsonl
+	$(PYTHON) -m repro report .check-report.md $(SMOKE_EXPERIMENTS) \
+		--jobs 2 --cache-dir .check-cache --resume
+	grep -q "all experiments passed" .check-report.md
+	@rm -rf .check-cache .check-report.md
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

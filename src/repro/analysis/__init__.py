@@ -7,11 +7,14 @@
 * :mod:`repro.analysis.registry` -- every experiment of DESIGN.md's
   index as a named, parameterised, runnable entry.
 * :mod:`repro.analysis.sweep` -- small sweep helpers (log-spaced sizes,
-  timing).
+  request grids, timing).
+* :mod:`repro.analysis.runtime` -- the fault-tolerant sweep runtime
+  (checkpoint journal, retries, timeouts, resume, fault injection).
 """
 
 from repro.analysis.fitting import LogFit, fit_log3
 from repro.analysis.registry import (
+    ExperimentRequest,
     ExperimentResult,
     available_experiments,
     get_experiment,
@@ -21,6 +24,7 @@ from repro.analysis.sweep import log_spaced_sizes
 from repro.analysis.tables import render_table
 
 __all__ = [
+    "ExperimentRequest",
     "ExperimentResult",
     "LogFit",
     "available_experiments",

@@ -1,51 +1,41 @@
-"""Parallel experiment execution, timing, and on-disk result caching.
+"""Generic process-pool mapping, plus the legacy sweep entry points.
 
-The registry's experiments are independent of one another, and the
-rounds-vs-n sweeps are independent across sizes -- both embarrassingly
-parallel.  This module provides the shared executor plumbing:
+:func:`parallel_map` lives here and is the real implementation -- the
+generic picklable-function-over-items map used by the rounds-vs-n
+sweeps.  A failing item is logged and re-raised annotated with *which*
+item failed; a worker that dies mid-task (e.g. OOM-killed) surfaces as
+a :class:`~repro.analysis.runtime.errors.WorkerCrash` naming the item
+instead of an opaque ``BrokenProcessPool``.
 
-* :func:`parallel_map` -- map a picklable function over items with a
-  ``concurrent.futures`` process pool (``jobs <= 1`` degrades to a plain
-  in-process loop, so callers need no special casing).  A failing item
-  is logged and re-raised annotated with *which* item failed.
-* :func:`timed_run` -- :func:`repro.analysis.registry.run_experiment`
-  wrapped in an ``experiment.run`` span; the span's wall-clock and
-  peak-RSS are rendered into ``ExperimentResult.notes`` for backward
-  compatibility with the pre-observability note format.
-* :class:`ResultCache` -- a directory of JSON files keyed by
-  ``(experiment, params)``; a hit skips the run entirely, is marked
-  (idempotently) in the notes, and bumps the ``cache.hits`` counter.
-* :func:`run_experiments` -- the engine behind ``repro all --jobs N``:
-  cache lookup, parallel dispatch, results returned in registry order.
+Everything else this module used to own has moved to the
+fault-tolerant runtime (:mod:`repro.analysis.runtime`) and is
+re-exported here unchanged for backward compatibility:
 
-Worker processes re-import :mod:`repro`, so everything submitted is a
-module-level function with picklable arguments; results
-(:class:`~repro.analysis.registry.ExperimentResult`) are plain
-dataclasses of scalars and travel back over the pool unchanged --
-which is why the parallel tables/checks are identical to serial ones.
-Each pool task runs under a fresh :class:`~repro.obs.metrics
-.MetricsRegistry` whose snapshot travels back with the result, so
-``run_experiments`` aggregates worker metrics losslessly: the merged
-counters of a ``--jobs N`` run equal a serial run's exactly.
+* :class:`ResultCache` -- now :mod:`repro.analysis.runtime.cache`.
+* :func:`timed_run` -- now :mod:`repro.analysis.runtime.runner`.
+* :func:`run_experiments` -- a thin wrapper over
+  :func:`repro.analysis.runtime.run_sweep`.  Its ``params=`` kwarg (the
+  signature-sniffing sweep-wide override path) is deprecated: build
+  :class:`~repro.analysis.registry.ExperimentRequest` values and call
+  ``run_sweep`` instead.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from pathlib import Path
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.analysis.registry import (
+    ExperimentRequest,
     ExperimentResult,
     available_experiments,
-    experiment_accepts,
-    run_experiment,
 )
+from repro.analysis.runtime.cache import ResultCache
+from repro.analysis.runtime.errors import WorkerCrash
+from repro.analysis.runtime.runner import run_sweep, timed_run
 from repro.obs.logger import get_logger
-from repro.obs.metrics import MetricsRegistry, counter, get_registry, use_registry
-from repro.obs.spans import span
 
 _log = get_logger("analysis.parallel")
 
@@ -95,6 +85,10 @@ def parallel_map(
             pool, no pickling -- bit-identical to a plain loop).
 
     Raises:
+        WorkerCrash: A worker process died mid-task (OOM kill,
+            segfault, ``os._exit``); the message names the first item
+            whose result was lost, instead of surfacing an opaque
+            ``BrokenProcessPool``.
         Exception: Whatever ``fn`` raised, re-raised as soon as the
             failing item's result is reached (in submission order) and
             annotated with the failing index/item instead of surfacing
@@ -116,103 +110,44 @@ def parallel_map(
         for index, (item, future) in enumerate(zip(items, futures)):
             try:
                 results.append(future.result())
+            except BrokenProcessPool as exc:
+                description = repr(item)
+                if len(description) > 200:
+                    description = description[:197] + "..."
+                crash = WorkerCrash(
+                    f"worker process died while running item {index} "
+                    f"({description}) under "
+                    f"{getattr(fn, '__name__', repr(fn))}"
+                )
+                _annotate_failure(crash, fn, index, item)
+                raise crash from exc
             except Exception as exc:
                 _annotate_failure(exc, fn, index, item)
                 raise
         return results
 
 
-def timed_run(experiment: str, **params: Any) -> ExperimentResult:
-    """Run one experiment inside an ``experiment.run`` span.
+def _params_to_request(
+    experiment: str, params: dict[str, Any]
+) -> ExperimentRequest:
+    """Map legacy sweep-wide ``params`` onto an :class:`ExperimentRequest`.
 
-    The span records wall-clock and peak RSS and flows to any JSONL
-    sink; its data is also rendered into the (pre-existing) note format
-    ``timing: 1.234s wall, peak RSS 45.2 MiB`` so downstream note
-    parsing keeps working.  Memory is the process high-water mark from
-    ``getrusage`` -- free to read (unlike :mod:`tracemalloc`, whose
-    allocation hooks slow the hot paths several-fold) and
-    per-experiment in fresh pool workers; in a long serial run it is
-    monotone across experiments.
+    The old path inspected each experiment's signature and forwarded
+    the subset of keys it accepted.  The request API carries the same
+    options as declared fields, so only the declarative option names
+    are accepted here; anything else belongs in per-request ``params``.
     """
-    with span("experiment.run", experiment=experiment) as record:
-        result = run_experiment(experiment, **params)
-    counter("experiments.run")
-    counter("experiments.passed" if result.passed else "experiments.failed")
-    rss = record.rss_mib
-    memory = f", peak RSS {rss:.1f} MiB" if rss is not None else ""
-    result.notes.append(f"timing: {record.duration_s:.3f}s wall{memory}")
-    return result
-
-
-class ResultCache:
-    """A directory of cached :class:`ExperimentResult` JSON files.
-
-    Keys are ``(experiment, params)``: the file name embeds the
-    experiment id plus a digest of the sorted parameter items, so
-    different parameterisations never collide and the cache directory
-    stays human-navigable.  Corrupt or unreadable entries are treated
-    as misses, never raised.  Hits and misses increment the
-    ``cache.hits`` / ``cache.misses`` counters on the current metrics
-    registry.
-    """
-
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-
-    @staticmethod
-    def key(experiment: str, params: dict[str, Any]) -> str:
-        """Digest of ``(experiment, params)`` (stable across processes)."""
-        blob = json.dumps(
-            [experiment, sorted(params.items())], sort_keys=True, default=repr
-        )
-        return hashlib.sha256(blob.encode()).hexdigest()[:16]
-
-    def path(self, experiment: str, params: dict[str, Any]) -> Path:
-        return self.root / f"{experiment}-{self.key(experiment, params)}.json"
-
-    def load(
-        self, experiment: str, params: dict[str, Any]
-    ) -> ExperimentResult | None:
-        """The cached result, or ``None`` on a miss."""
-        path = self.path(experiment, params)
-        try:
-            payload = json.loads(path.read_text())
-            result = ExperimentResult.from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError):
-            counter("cache.misses")
-            return None
-        counter("cache.hits")
-        _log.debug(
-            "cache hit", extra={"experiment": experiment, "path": str(path)}
-        )
-        # Idempotent: a result stored after being loaded (or loaded
-        # repeatedly) must not accumulate duplicate hit notes.
-        note = f"cache: hit ({path.name})"
-        if note not in result.notes:
-            result.notes.append(note)
-        return result
-
-    def store(
-        self, result: ExperimentResult, params: dict[str, Any]
-    ) -> Path:
-        """Persist ``result`` under its ``(experiment, params)`` key."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path(result.experiment, params)
-        path.write_text(json.dumps(result.to_dict(), indent=1) + "\n")
-        return path
-
-
-def _timed_task(
-    task: tuple[str, dict[str, Any]],
-) -> tuple[ExperimentResult, dict[str, Any]]:
-    # Module-level so ProcessPoolExecutor can pickle it.  Runs under a
-    # fresh registry so the task's metrics are isolated (pool workers
-    # are reused across tasks) and travel back with the result.
-    experiment, params = task
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        result = timed_run(experiment, **params)
-    return result, registry.snapshot()
+    fields: dict[str, Any] = {}
+    for key, value in params.items():
+        if key not in ("backend", "jobs", "seed"):
+            raise TypeError(
+                f"run_experiments(params={{{key!r}: ...}}) is not "
+                "supported any more: build ExperimentRequest values "
+                "with explicit params and call "
+                "repro.analysis.runtime.run_sweep instead"
+            )
+        fields[key] = value
+    return ExperimentRequest(experiment=experiment, **fields)
 
 
 def run_experiments(
@@ -224,18 +159,13 @@ def run_experiments(
 ) -> list[ExperimentResult]:
     """Run experiments (default: all registered), possibly in parallel.
 
-    Args:
-        experiments: Experiment ids; defaults to the full registry in
-            DESIGN.md order.  Results come back in the same order.
-        jobs: Worker processes for the uncached experiments.
-        cache: Optional :class:`ResultCache`; hits skip execution, and
-            fresh results are stored back keyed by the parameters each
-            experiment actually received (an empty dict for a default
-            run, so pre-existing caches keep hitting).
-        params: Sweep-wide parameter overrides (e.g.
-            ``{"backend": "fast"}``).  Each experiment receives exactly
-            the subset of keys its signature accepts -- a sweep-wide
-            option need not be understood by every experiment.
+    Legacy wrapper over :func:`repro.analysis.runtime.run_sweep` kept
+    for callers of the pre-request API; results, cache keys, and merged
+    metrics are identical.  The ``params=`` kwarg is deprecated --
+    construct :class:`~repro.analysis.registry.ExperimentRequest`
+    values instead (it only ever supported the declarative option
+    fields ``backend``/``jobs``/``seed`` usefully, and those are
+    explicit request fields now).
 
     Returns:
         One :class:`ExperimentResult` per requested experiment, with
@@ -245,35 +175,16 @@ def run_experiments(
         identical for serial and parallel runs.
     """
     names = list(experiments or available_experiments())
-    _log.info(
-        "running experiments",
-        extra={"count": len(names), "jobs": jobs, "cached": cache is not None},
-    )
-    applied: dict[str, dict[str, Any]] = {
-        name: {
-            key: value
-            for key, value in (params or {}).items()
-            if experiment_accepts(name, key)
-        }
-        for name in names
-    }
-    results: dict[str, ExperimentResult] = {}
-    pending: list[str] = []
-    for name in names:
-        cached = cache.load(name, applied[name]) if cache is not None else None
-        if cached is not None:
-            results[name] = cached
-        else:
-            pending.append(name)
-    registry = get_registry()
-    for name, (result, snapshot) in zip(
-        pending,
-        parallel_map(
-            _timed_task, [(name, applied[name]) for name in pending], jobs=jobs
-        ),
-    ):
-        registry.merge(snapshot)
-        if cache is not None:
-            cache.store(result, applied[name])
-        results[name] = result
-    return [results[name] for name in names]
+    if params:
+        warnings.warn(
+            "run_experiments(params=...) is deprecated; build "
+            "ExperimentRequest values (backend/jobs/seed are explicit "
+            "fields) and call repro.analysis.runtime.run_sweep",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        requests = [_params_to_request(name, params) for name in names]
+    else:
+        requests = [ExperimentRequest(experiment=name) for name in names]
+    outcome = run_sweep(requests, jobs=jobs, cache=cache)
+    return outcome.results

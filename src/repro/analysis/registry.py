@@ -7,24 +7,40 @@ mechanically verified claims ("leader states equal through round r",
 table; the benchmark suite asserts every check.
 
 Implementations live in :mod:`repro.analysis.experiments`; this module
-only wires names to functions.
+wires names to :class:`ExperimentSpec` entries.  A spec declares which
+*sweep-wide options* (``backend``, ``jobs``, ``seed``) the experiment
+opts into, so callers that fan one option across many experiments
+(``repro all --backend fast``) apply it to exactly the experiments that
+understand it -- declaratively, with no signature sniffing.
+
+The one entry point is :func:`run_experiment` on an
+:class:`ExperimentRequest`: a typed description of a single run
+(experiment id, explicit params, opt-in option fields, cache policy).
+``run_experiment("id", key=value)`` remains as sugar and builds the
+request internally.
 """
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.analysis.tables import format_value, render_table
 
 __all__ = [
+    "ExperimentRequest",
     "ExperimentResult",
+    "ExperimentSpec",
     "available_experiments",
-    "experiment_accepts",
+    "experiment_options",
     "get_experiment",
+    "get_spec",
     "run_experiment",
 ]
+
+#: Sweep-wide option fields an experiment may opt into declaratively
+#: (the keys of :attr:`ExperimentSpec.options`).
+OPTION_FIELDS = ("backend", "jobs", "seed")
 
 
 @dataclass
@@ -109,7 +125,84 @@ class ExperimentResult:
         )
 
 
-def _build_registry() -> dict[str, Callable[..., ExperimentResult]]:
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: the function plus its declared option opt-ins.
+
+    Attributes:
+        fn: The experiment implementation.
+        options: The subset of :data:`OPTION_FIELDS` this experiment
+            accepts as keyword arguments.  The declaration replaces the
+            old ``experiment_accepts`` signature inspection; a test
+            asserts every declaration matches the real signature.
+    """
+
+    fn: Callable[..., ExperimentResult]
+    options: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """A typed, self-contained description of one experiment run.
+
+    This is the unit the CLI, the sweep runtime, and the result cache
+    all speak: everything needed to run (and key) an experiment lives
+    in one value instead of being smuggled through ``**kwargs``.
+
+    Attributes:
+        experiment: Registry id (see :func:`available_experiments`).
+        params: Explicit parameter overrides, forwarded verbatim.
+        backend: Simulation backend (``"fast"``); applied only to
+            experiments that declare the ``backend`` option.  ``None``
+            or ``"object"`` (the engine default) contributes nothing,
+            so cache keys stay identical to pre-``--backend`` runs.
+        jobs: Worker processes granted to the experiment's *internal*
+            sweeps; applied only to experiments declaring ``jobs``.
+            (Pool-level parallelism across experiments is the sweep
+            runner's ``jobs`` argument, not this field.)
+        seed: Randomness seed; applied only to experiments declaring
+            ``seed``.
+        cache_policy: ``"reuse"`` (load a cached result, else run and
+            store), ``"refresh"`` (always run, store) or ``"off"``
+            (never touch the cache).
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    backend: str | None = None
+    jobs: int | None = None
+    seed: int | None = None
+    cache_policy: str = "reuse"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        if self.cache_policy not in ("reuse", "refresh", "off"):
+            raise ValueError(
+                f"cache_policy must be 'reuse', 'refresh' or 'off', "
+                f"got {self.cache_policy!r}"
+            )
+
+    def effective_params(self) -> dict[str, Any]:
+        """The keyword arguments this request resolves to.
+
+        Explicit ``params`` first, then each option field the
+        experiment declares (explicit params win on conflict).  The
+        result doubles as the cache key: byte-identical to the dict the
+        pre-request API produced for the same run, so existing caches
+        keep hitting.
+        """
+        declared = experiment_options(self.experiment)
+        params = dict(self.params)
+        for name in OPTION_FIELDS:
+            value = getattr(self, name)
+            if name == "backend" and value == "object":
+                value = None  # engine default: keyless, like pre-backend runs
+            if value is not None and name in declared:
+                params.setdefault(name, value)
+        return params
+
+
+def _build_registry() -> dict[str, ExperimentSpec]:
     # Imported lazily so `import repro` stays fast and dependency-light.
     from repro.analysis.experiments import (
         adversaries_ablation,
@@ -127,32 +220,52 @@ def _build_registry() -> dict[str, Callable[..., ExperimentResult]]:
         randomness,
     )
 
+    def spec(
+        fn: Callable[..., ExperimentResult], *options: str
+    ) -> ExperimentSpec:
+        unknown = set(options) - set(OPTION_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown option fields: {sorted(unknown)}")
+        return ExperimentSpec(fn=fn, options=frozenset(options))
+
     return {
-        "fig1-pd2-example": figures.fig1_pd2_example,
-        "fig2-transformation": figures.fig2_transformation,
-        "fig3-indistinguishable-r0": figures.fig3_indistinguishable_r0,
-        "fig4-indistinguishable-r1": figures.fig4_indistinguishable_r1,
-        "tab-kernel-structure": kernel.kernel_structure,
-        "tab-ambiguity-horizon": lower_bound.ambiguity_horizon_table,
-        "fig-counting-rounds-vs-n": lower_bound.counting_rounds_vs_n,
-        "tab-corollary1-diameter": corollary.corollary1_table,
-        "tab-oracle-gap": oracle.oracle_gap,
-        "tab-star-pd1": oracle.star_pd1,
-        "tab-baselines": baselines.baselines_table,
-        "tab-general-k": general_k.general_k_structure,
-        "tab-adaptive-adversary": adversaries_ablation.adaptive_adversary_ablation,
-        "tab-adversarial-randomness": randomness.adversarial_randomness,
-        "tab-naming-vs-counting": naming.naming_vs_counting,
-        "tab-dynamics-families": dynamics.dynamics_families,
-        "tab-bandwidth": bandwidth.bandwidth_table,
-        "tab-token-dissemination": dissemination.token_dissemination,
+        "fig1-pd2-example": spec(figures.fig1_pd2_example),
+        "fig2-transformation": spec(figures.fig2_transformation),
+        "fig3-indistinguishable-r0": spec(figures.fig3_indistinguishable_r0),
+        "fig4-indistinguishable-r1": spec(figures.fig4_indistinguishable_r1),
+        "tab-kernel-structure": spec(kernel.kernel_structure),
+        "tab-ambiguity-horizon": spec(
+            lower_bound.ambiguity_horizon_table, "jobs"
+        ),
+        "fig-counting-rounds-vs-n": spec(
+            lower_bound.counting_rounds_vs_n, "jobs"
+        ),
+        "tab-corollary1-diameter": spec(corollary.corollary1_table, "backend"),
+        "tab-oracle-gap": spec(oracle.oracle_gap),
+        "tab-star-pd1": spec(oracle.star_pd1, "backend"),
+        "tab-baselines": spec(baselines.baselines_table, "backend"),
+        "tab-general-k": spec(general_k.general_k_structure),
+        "tab-adaptive-adversary": spec(
+            adversaries_ablation.adaptive_adversary_ablation
+        ),
+        "tab-adversarial-randomness": spec(
+            randomness.adversarial_randomness, "seed"
+        ),
+        "tab-naming-vs-counting": spec(naming.naming_vs_counting),
+        "tab-dynamics-families": spec(
+            dynamics.dynamics_families, "backend", "seed"
+        ),
+        "tab-bandwidth": spec(bandwidth.bandwidth_table),
+        "tab-token-dissemination": spec(
+            dissemination.token_dissemination, "backend", "seed"
+        ),
     }
 
 
-_REGISTRY: dict[str, Callable[..., ExperimentResult]] | None = None
+_REGISTRY: dict[str, ExperimentSpec] | None = None
 
 
-def _registry() -> dict[str, Callable[..., ExperimentResult]]:
+def _registry() -> dict[str, ExperimentSpec]:
     global _REGISTRY
     if _REGISTRY is None:
         _REGISTRY = _build_registry()
@@ -164,8 +277,8 @@ def available_experiments() -> list[str]:
     return list(_registry())
 
 
-def get_experiment(experiment: str) -> Callable[..., ExperimentResult]:
-    """The experiment function for an id.
+def get_spec(experiment: str) -> ExperimentSpec:
+    """The :class:`ExperimentSpec` for an id.
 
     Raises:
         KeyError: Unknown experiment id (message lists valid ids).
@@ -179,21 +292,44 @@ def get_experiment(experiment: str) -> Callable[..., ExperimentResult]:
     return registry[experiment]
 
 
-def experiment_accepts(experiment: str, param: str) -> bool:
-    """Whether an experiment's signature takes a keyword ``param``.
+def get_experiment(experiment: str) -> Callable[..., ExperimentResult]:
+    """The experiment function for an id.
 
-    Used for sweep-wide options (e.g. ``--backend``) that only some
-    experiments understand: callers pass the option to exactly the
-    experiments that accept it instead of breaking the rest.
+    Raises:
+        KeyError: Unknown experiment id (message lists valid ids).
     """
-    parameters = inspect.signature(get_experiment(experiment)).parameters
-    if param in parameters:
-        return True
-    return any(
-        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-    )
+    return get_spec(experiment).fn
 
 
-def run_experiment(experiment: str, **params: Any) -> ExperimentResult:
-    """Run an experiment by id with optional parameter overrides."""
-    return get_experiment(experiment)(**params)
+def experiment_options(experiment: str) -> frozenset[str]:
+    """The sweep-wide option fields an experiment declares.
+
+    The declarative replacement for the old ``experiment_accepts``
+    signature sniffing: callers fanning one option across many
+    experiments (``repro all --backend fast``) consult this to apply
+    it to exactly the experiments that opted in.
+    """
+    return get_spec(experiment).options
+
+
+def run_experiment(
+    request: ExperimentRequest | str, /, **params: Any
+) -> ExperimentResult:
+    """Run one :class:`ExperimentRequest` (the single entry point).
+
+    ``run_experiment("id", key=value)`` is accepted as sugar and builds
+    the request internally, so simple call sites stay one-liners.
+
+    Raises:
+        KeyError: Unknown experiment id.
+        TypeError: Keyword params combined with an explicit request
+            (put them in :attr:`ExperimentRequest.params` instead).
+    """
+    if isinstance(request, str):
+        request = ExperimentRequest(experiment=request, params=params)
+    elif params:
+        raise TypeError(
+            "run_experiment(request) takes no extra keyword params; "
+            "put them in ExperimentRequest.params"
+        )
+    return get_spec(request.experiment).fn(**request.effective_params())

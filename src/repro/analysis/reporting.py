@@ -4,15 +4,26 @@ Turns :class:`repro.analysis.registry.ExperimentResult` objects into the
 Markdown used in ``EXPERIMENTS.md`` (fenced table, notes, check
 summary), and can regenerate a full report over every registered
 experiment -- the CLI exposes this as ``python -m repro report``.
+
+Reports run through the fault-tolerant runtime
+(:func:`repro.analysis.runtime.run_sweep`): they can resume from a
+checkpoint journal, retry transient failures, and -- when the run
+degraded or resumed -- record that provenance in a closing section, so
+a report always says how it was produced.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
-from repro.analysis.parallel import ResultCache, run_experiments
-from repro.analysis.registry import ExperimentResult
+from repro.analysis.registry import ExperimentRequest, ExperimentResult
+from repro.analysis.runtime.cache import ResultCache
+from repro.analysis.runtime.faults import FaultPlan
+from repro.analysis.runtime.journal import Journal
+from repro.analysis.runtime.retry import RetryPolicy
+from repro.analysis.runtime.runner import run_sweep
 from repro.analysis.tables import render_table
 
 __all__ = ["result_to_markdown", "full_report", "write_report"]
@@ -42,40 +53,102 @@ def result_to_markdown(result: ExperimentResult) -> str:
 def full_report(
     *,
     experiments: list[str] | None = None,
+    requests: Sequence[ExperimentRequest] | None = None,
     title: str = "Experiment report",
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
     params: dict[str, Any] | None = None,
+    journal: Journal | None = None,
+    resume: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> str:
     """Run experiments (default: all) and render one Markdown document.
 
     Args:
         experiments: Restrict to these experiment ids (registry order
-            is kept for ``None``).
+            is kept for ``None``); shorthand for default requests.
+        requests: Explicit :class:`ExperimentRequest` values (takes
+            precedence over ``experiments``).
         title: Heading of the generated document.
         jobs: Worker processes for the runs (see
-            :func:`repro.analysis.parallel.run_experiments`); serial by
+            :func:`repro.analysis.runtime.run_sweep`); serial by
             default, so a report is bit-identical to ``repro all``.
-        cache: A :class:`~repro.analysis.parallel.ResultCache` or a
-            cache directory path; cached experiments are not re-run.
-        params: Sweep-wide parameter overrides (e.g.
-            ``{"backend": "fast"}``), forwarded per experiment to the
-            ones whose signatures accept them.
+        cache: A :class:`~repro.analysis.runtime.cache.ResultCache` or
+            a cache directory path; cached experiments are not re-run.
+        params: Deprecated sweep-wide overrides -- set the matching
+            :class:`ExperimentRequest` fields instead.
+        journal: Optional checkpoint journal (see
+            ``docs/ROBUSTNESS.md``).
+        resume: Replay the journal and skip completed tasks.
+        policy: Retry/timeout/failure budget for the run.
+        faults: Deterministic fault injection (tests/CI only).
+
+    The rendered document ends with a *Run provenance* section whenever
+    the runtime has something to declare (resume, retries exhausted,
+    degradation to serial) -- partial-run provenance is part of the
+    report, not hidden in logs.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
+    if requests is None:
+        names = experiments  # None means the full registry
+        if params:
+            warnings.warn(
+                "full_report(params=...) is deprecated; pass requests= "
+                "with explicit ExperimentRequest fields instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            fields = {
+                key: value
+                for key, value in params.items()
+                if key in ("backend", "jobs", "seed")
+            }
+            unknown = set(params) - set(fields)
+            if unknown:
+                raise TypeError(
+                    f"full_report(params=...) supports only backend/jobs/"
+                    f"seed, got {sorted(unknown)}; use requests= instead"
+                )
+            requests = [
+                ExperimentRequest(experiment=name, **fields)
+                for name in (names or _default_names())
+            ]
+        elif names is not None:
+            requests = [ExperimentRequest(experiment=name) for name in names]
+    outcome = run_sweep(
+        requests,
+        jobs=jobs,
+        cache=cache,
+        journal=journal,
+        resume=resume,
+        policy=policy,
+        faults=faults,
+    )
     sections = [f"# {title}", ""]
-    all_passed = True
-    for result in run_experiments(
-        experiments, jobs=jobs, cache=cache, params=params
-    ):
+    for result in outcome.results:
         sections.append(result_to_markdown(result))
-        all_passed &= result.passed
+    if outcome.provenance:
+        sections.append("## Run provenance")
+        sections.append("")
+        sections.extend(f"- {line}" for line in outcome.provenance)
+        sections.append("")
     sections.append(
         "---\n\nOverall: "
-        + ("all experiments passed." if all_passed else "FAILURES present.")
+        + (
+            "all experiments passed."
+            if outcome.passed
+            else "FAILURES present."
+        )
     )
     return "\n".join(sections)
+
+
+def _default_names() -> list[str]:
+    from repro.analysis.registry import available_experiments
+
+    return available_experiments()
 
 
 def write_report(path: str | Path, **kwargs) -> Path:

@@ -1,0 +1,81 @@
+"""On-disk result caching for experiment runs.
+
+Home of :class:`ResultCache` (re-exported from
+:mod:`repro.analysis.parallel` for backward compatibility).  The cache
+digest doubles as the checkpoint journal's params-hash, which is why it
+lives in the runtime package: journal and cache must agree on task
+identity byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.registry import ExperimentResult
+from repro.obs.logger import get_logger
+from repro.obs.metrics import counter
+
+_log = get_logger("analysis.runtime.cache")
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of cached :class:`ExperimentResult` JSON files.
+
+    Keys are ``(experiment, params)``: the file name embeds the
+    experiment id plus a digest of the sorted parameter items, so
+    different parameterisations never collide and the cache directory
+    stays human-navigable.  Corrupt or unreadable entries are treated
+    as misses, never raised.  Hits and misses increment the
+    ``cache.hits`` / ``cache.misses`` counters on the current metrics
+    registry.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def key(experiment: str, params: dict[str, Any]) -> str:
+        """Digest of ``(experiment, params)`` (stable across processes)."""
+        blob = json.dumps(
+            [experiment, sorted(params.items())], sort_keys=True, default=repr
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def path(self, experiment: str, params: dict[str, Any]) -> Path:
+        return self.root / f"{experiment}-{self.key(experiment, params)}.json"
+
+    def load(
+        self, experiment: str, params: dict[str, Any]
+    ) -> ExperimentResult | None:
+        """The cached result, or ``None`` on a miss."""
+        path = self.path(experiment, params)
+        try:
+            payload = json.loads(path.read_text())
+            result = ExperimentResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            counter("cache.misses")
+            return None
+        counter("cache.hits")
+        _log.debug(
+            "cache hit", extra={"experiment": experiment, "path": str(path)}
+        )
+        # Idempotent: a result stored after being loaded (or loaded
+        # repeatedly) must not accumulate duplicate hit notes.
+        note = f"cache: hit ({path.name})"
+        if note not in result.notes:
+            result.notes.append(note)
+        return result
+
+    def store(
+        self, result: ExperimentResult, params: dict[str, Any]
+    ) -> Path:
+        """Persist ``result`` under its ``(experiment, params)`` key."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(result.experiment, params)
+        path.write_text(json.dumps(result.to_dict(), indent=1) + "\n")
+        return path

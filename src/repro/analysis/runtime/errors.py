@@ -1,0 +1,63 @@
+"""Error taxonomy of the fault-tolerant sweep runtime.
+
+Every task failure is classified as *retryable* (the run might succeed
+if repeated: a worker process died, a wall-clock timeout fired, a
+transient I/O error) or *fatal* (a deterministic bug or validation
+failure that would fail identically on every attempt).  Retryable
+failures consume retry budget; fatal ones never do.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FATAL",
+    "RETRYABLE",
+    "SweepAborted",
+    "TaskError",
+    "TaskTimeout",
+    "WorkerCrash",
+    "classify_error",
+]
+
+#: Classification labels (journal/event vocabulary).
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+
+class TaskError(RuntimeError):
+    """Base class for runtime-raised task failures."""
+
+
+class WorkerCrash(TaskError):
+    """A worker process died mid-task (killed, OOM, segfault)."""
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its wall-clock budget and was terminated."""
+
+
+class SweepAborted(RuntimeError):
+    """The sweep stopped early: fatal failures exceeded ``max_failures``.
+
+    Raised by the runner after in-flight work is wound down and the
+    journal records the abort, so a later ``--resume`` continues from
+    exactly what completed.
+    """
+
+
+def classify_error(exc: BaseException) -> str:
+    """``RETRYABLE`` or ``FATAL`` for an exception instance.
+
+    Retryable: runtime-level faults (:class:`WorkerCrash`,
+    :class:`TaskTimeout`) and transient OS/I/O conditions
+    (``OSError``, ``TimeoutError``, ``InterruptedError``, ``EOFError``,
+    ``BrokenPipeError``, ``MemoryError``).  Everything else -- assertion
+    and validation errors especially -- is fatal: a deterministic
+    experiment fails the same way on every attempt, so retrying would
+    only burn budget and hide the bug.
+    """
+    if isinstance(exc, (WorkerCrash, TaskTimeout)):
+        return RETRYABLE
+    if isinstance(exc, (OSError, TimeoutError, InterruptedError, EOFError, MemoryError)):
+        return RETRYABLE
+    return FATAL

@@ -1,0 +1,108 @@
+"""Deterministic fault injection for the sweep runtime.
+
+The test suite (and the CI smoke job) must prove that checkpointing,
+retries, timeouts, and resume actually work -- which requires making
+workers fail *on demand and reproducibly*.  A :class:`FaultPlan` names
+a fault kind and the task it strikes; the runner arms exactly that
+task's **first** attempt, so a retry (or a resumed run) proceeds
+cleanly and the recovery path is what gets exercised.
+
+Kinds (the ``--inject-fault KIND@K`` CLI syntax):
+
+* ``raise`` -- a transient error (``OSError``): *retryable*.
+* ``fatal`` -- a validation error (``ValueError``): *fatal*, consumes
+  the sweep's failure budget.
+* ``hang``  -- the attempt sleeps forever; only a wall-clock timeout
+  recovers it.
+* ``kill``  -- the worker process exits abruptly (``os._exit``), as an
+  OOM kill would; in-process attempts simulate it by raising
+  :class:`~repro.analysis.runtime.errors.WorkerCrash`.
+
+Instead of a fixed index, a plan may be *seeded* (``at=None``): the
+struck task is drawn from ``random.Random(seed)`` over the sweep size,
+still perfectly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+from repro.analysis.runtime.errors import WorkerCrash
+
+__all__ = ["FaultPlan", "KINDS", "trigger"]
+
+KINDS = ("raise", "fatal", "hang", "kill")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Inject one fault at a chosen task of a sweep.
+
+    Attributes:
+        kind: One of :data:`KINDS`.
+        at: 0-based index (submission order) of the struck task, or
+            ``None`` to draw it from ``seed`` once the sweep size is
+            known.
+        seed: Seed for the drawn index when ``at`` is ``None``.
+    """
+
+    kind: str
+    at: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.at is not None and self.at < 0:
+            raise ValueError("fault index must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the CLI syntax ``KIND@K`` (e.g. ``kill@3``).
+
+        A bare ``KIND`` means a seeded draw (``at=None``); ``KIND@K``
+        pins the 0-based task index.
+        """
+        kind, sep, position = text.partition("@")
+        if not sep:
+            return cls(kind=kind)
+        try:
+            return cls(kind=kind, at=int(position))
+        except ValueError:
+            raise ValueError(
+                f"--inject-fault expects KIND@K with integer K, got {text!r}"
+            ) from None
+
+    def target(self, n_tasks: int) -> int:
+        """The struck task index for a sweep of ``n_tasks`` tasks."""
+        if self.at is not None:
+            return self.at
+        return random.Random(self.seed).randrange(max(n_tasks, 1))
+
+
+def trigger(kind: str, *, in_process: bool) -> None:
+    """Fire an armed fault inside an attempt (called by the runner).
+
+    Process-backed attempts die for real (``kill``) or sleep until the
+    parent's timeout reaps them (``hang``); in-process attempts raise
+    the equivalent exception instead, because exiting or sleeping
+    forever would take the whole run down with them.
+    """
+    if kind == "raise":
+        raise OSError("injected transient fault")
+    if kind == "fatal":
+        raise ValueError("injected fatal fault")
+    if kind == "kill":
+        if in_process:
+            raise WorkerCrash("injected worker kill (simulated in-process)")
+        os._exit(86)
+    if kind == "hang":
+        if in_process:
+            raise WorkerCrash("injected hang (simulated in-process)")
+        time.sleep(3600)
+    raise ValueError(f"unknown fault kind {kind!r}")

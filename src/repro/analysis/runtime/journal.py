@@ -1,0 +1,192 @@
+"""The JSONL checkpoint journal behind ``repro all --resume``.
+
+The runner appends one JSON object per line as tasks move through
+their lifecycle, flushing after every write -- so however a sweep dies
+(worker kill, power loss, ``SweepAborted``), the journal on disk names
+exactly which tasks completed (and where their results live) and which
+were in flight.  A resumed run replays the journal, loads completed
+results from their recorded paths, and re-queues everything else.
+
+Line vocabulary (all lines carry ``ts``, Unix seconds)::
+
+    {"event": "sweep",     "tasks": N, "resume": false}
+    {"event": "started",   "task": K, "experiment": ID,
+     "params_hash": H, "attempt": A}
+    {"event": "completed", "task": K, "attempt": A, "result_path": P}
+    {"event": "failed",    "task": K, "attempt": A, "error": E,
+     "kind": "retryable"|"fatal", "final": true|false}
+    {"event": "aborted",   "failures": N}
+
+``task`` is the result-cache file stem ``<experiment>-<digest>`` where
+the digest is :meth:`ResultCache.key` of ``(experiment,
+effective_params)`` -- the same 16-hex params-hash that keys the cache,
+so journal and cache can never disagree about identity.
+
+Replay folds lines per task, last event winning; unreadable lines are
+skipped (a torn final write must not poison a resume).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.logger import get_logger
+
+_log = get_logger("analysis.runtime.journal")
+
+__all__ = ["Journal", "JournalEntry"]
+
+#: Task states a replay can land on.
+STARTED = "started"
+COMPLETED = "completed"
+FAILED = "failed"
+RETRYING = "retrying"
+
+
+@dataclass
+class JournalEntry:
+    """The folded state of one task after replaying the journal."""
+
+    task: str
+    experiment: str | None = None
+    params_hash: str | None = None
+    status: str = STARTED
+    attempt: int = 0
+    result_path: str | None = None
+    error: str | None = None
+
+
+class Journal:
+    """Append-only JSONL task journal (see module docstring).
+
+    The file handle is opened lazily on first write and every line is
+    flushed, so concurrent readers (and post-mortem humans) always see
+    a prefix of whole lines.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._stream = None
+
+    @staticmethod
+    def task_key(experiment: str, digest: str) -> str:
+        """The journal/cache identity of a task: ``<experiment>-<digest>``."""
+        return f"{experiment}-{digest}"
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+        record["ts"] = round(time.time(), 6)
+        self._stream.write(json.dumps(record, default=repr) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def truncate(self) -> None:
+        """Start a fresh epoch (non-resume runs wipe stale state)."""
+        self.close()
+        if self.path.exists():
+            self.path.write_text("")
+
+    # -- lifecycle records -------------------------------------------------
+
+    def record_sweep(self, *, tasks: int, resume: bool) -> None:
+        self._write({"event": "sweep", "tasks": tasks, "resume": resume})
+
+    def record_started(
+        self, task: str, *, experiment: str, params_hash: str, attempt: int
+    ) -> None:
+        self._write(
+            {
+                "event": "started",
+                "task": task,
+                "experiment": experiment,
+                "params_hash": params_hash,
+                "attempt": attempt,
+            }
+        )
+
+    def record_completed(
+        self, task: str, *, attempt: int, result_path: str | None
+    ) -> None:
+        self._write(
+            {
+                "event": "completed",
+                "task": task,
+                "attempt": attempt,
+                "result_path": result_path,
+            }
+        )
+
+    def record_failed(
+        self, task: str, *, attempt: int, error: str, kind: str, final: bool
+    ) -> None:
+        self._write(
+            {
+                "event": "failed",
+                "task": task,
+                "attempt": attempt,
+                "error": error,
+                "kind": kind,
+                "final": final,
+            }
+        )
+
+    def record_aborted(self, *, failures: int) -> None:
+        self._write({"event": "aborted", "failures": failures})
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> dict[str, JournalEntry]:
+        """Fold the journal into per-task end states (last event wins).
+
+        A missing journal file is an empty replay, not an error, so
+        ``--resume`` on a fresh directory simply runs everything.
+        """
+        entries: dict[str, JournalEntry] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return entries
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                _log.warning(
+                    "skipping unreadable journal line",
+                    extra={"path": str(self.path)},
+                )
+                continue
+            task = record.get("task")
+            if task is None:
+                continue  # sweep/aborted markers carry no task state
+            entry = entries.setdefault(task, JournalEntry(task=task))
+            event = record.get("event")
+            entry.attempt = record.get("attempt", entry.attempt)
+            if event == "started":
+                entry.status = STARTED
+                entry.experiment = record.get("experiment", entry.experiment)
+                entry.params_hash = record.get(
+                    "params_hash", entry.params_hash
+                )
+            elif event == "completed":
+                entry.status = COMPLETED
+                entry.result_path = record.get("result_path")
+            elif event == "failed":
+                entry.status = FAILED if record.get("final") else RETRYING
+                entry.error = record.get("error")
+        return entries

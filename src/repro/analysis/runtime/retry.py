@@ -1,0 +1,79 @@
+"""Retry, timeout, and failure-budget policy for the sweep runtime.
+
+One :class:`RetryPolicy` value travels with a sweep and answers three
+questions: how long may one attempt run (``timeout_s``), how often may
+a *retryable* failure be repeated (``retries``, with exponential
+backoff plus deterministic jitter), and how many tasks may fail
+*fatally* before the whole sweep aborts (``max_failures``).
+
+Backoff jitter is seeded -- ``delay_s(task, attempt)`` is a pure
+function of the policy and its arguments -- so runs are reproducible
+and the fault-injection tests can assert exact schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Limits and backoff schedule for one sweep.
+
+    Attributes:
+        retries: Extra attempts granted per task after a *retryable*
+            failure (0 disables retrying; fatal errors never retry).
+        timeout_s: Wall-clock budget per attempt; hung workers are
+            terminated once it elapses.  ``None`` disables timeouts.
+            Enforced only for process-backed attempts -- an in-process
+            (serial) attempt cannot be preempted.
+        max_failures: Fatally-failed tasks tolerated before the sweep
+            aborts.  0 (the default) keeps the historical fail-fast
+            behaviour; raising it lets a long sweep limp to the end and
+            report the casualties.
+        backoff_s: Delay before the first retry.
+        backoff_factor: Multiplier applied per further retry.
+        jitter: Fraction of the delay added as seeded noise (0..1);
+            spreads retries of simultaneously-crashed workers apart.
+        seed: Seed of the jitter stream.
+    """
+
+    retries: int = 2
+    timeout_s: float | None = None
+    max_failures: int = 0
+    backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_failures < 0:
+            raise ValueError("max_failures must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def attempts(self) -> int:
+        """Total attempts allowed per task (first run + retries)."""
+        return 1 + self.retries
+
+    def delay_s(self, task_index: int, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based) of a task.
+
+        Deterministic: exponential in ``attempt`` with jitter drawn
+        from ``random.Random`` seeded by ``(seed, task_index,
+        attempt)``, so reruns and tests see the identical schedule.
+        """
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if not self.jitter:
+            return base
+        # random.Random only seeds on scalars; fold the triple into a
+        # string so each (task, attempt) gets an independent stream.
+        rng = random.Random(f"{self.seed}:{task_index}:{attempt}")
+        return base * (1 + self.jitter * rng.random())

@@ -2,15 +2,56 @@
 
 from __future__ import annotations
 
-from typing import Sequence, TypeVar
+import itertools
+from typing import Any, Mapping, Sequence, TypeVar
 
+from repro.analysis.registry import OPTION_FIELDS, ExperimentRequest
 from repro.obs.logger import get_logger
 
 _log = get_logger("analysis.sweep")
 
-__all__ = ["chunked", "log_spaced_sizes"]
+__all__ = ["chunked", "grid_requests", "log_spaced_sizes"]
 
 _T = TypeVar("_T")
+
+
+def grid_requests(
+    experiment: str,
+    grid: Mapping[str, Sequence[Any]],
+    **base: Any,
+) -> list[ExperimentRequest]:
+    """One :class:`ExperimentRequest` per point of a parameter grid.
+
+    The cartesian product of ``grid`` (in key order, last key fastest)
+    becomes the per-request params; ``base`` sets fields shared by
+    every request.  Grid keys naming declarative option fields
+    (``backend``/``jobs``/``seed``) become request fields rather than
+    raw params, so opt-in filtering and cache keys behave exactly as
+    they would for a hand-built request::
+
+        grid_requests("tab-star-pd1", {"sizes": [(2,), (2, 5)]},
+                      backend="fast")
+
+    feeds straight into :func:`repro.analysis.runtime.run_sweep`.
+    """
+    keys = list(grid)
+    requests = []
+    for point in itertools.product(*(grid[key] for key in keys)):
+        fields = dict(base)
+        params = dict(fields.pop("params", {}))
+        for key, value in zip(keys, point):
+            if key in OPTION_FIELDS:
+                fields[key] = value
+            else:
+                params[key] = value
+        requests.append(
+            ExperimentRequest(experiment=experiment, params=params, **fields)
+        )
+    _log.debug(
+        "grid expanded",
+        extra={"experiment": experiment, "points": len(requests)},
+    )
+    return requests
 
 
 def chunked(items: Sequence[_T], size: int) -> list[list[_T]]:

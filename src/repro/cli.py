@@ -8,16 +8,37 @@ Usage::
     python -m repro run tab-star-pd1 --backend fast
     python -m repro all
     python -m repro all --jobs 4 --cache-dir .repro-cache
-    python -m repro all --backend fast
+    python -m repro all --jobs 4 --cache-dir .repro-cache --resume
+    python -m repro all --backend fast --timeout 600 --retries 3
     python -m repro report out/report.md --jobs 4
     python -m repro run tab-kernel-structure --metrics-out m.json
     python -m repro all --log-level debug --log-json events.jsonl
     python -m repro stats m.json
 
 Parameters given as ``--param name=value`` are parsed as Python literals
-and forwarded to the experiment function.
+and forwarded to the experiment function.  Every command builds typed
+:class:`~repro.analysis.registry.ExperimentRequest` values and executes
+them through the fault-tolerant runtime
+(:func:`repro.analysis.runtime.run_sweep`).
 
-Observability (``run`` / ``all`` / ``report``):
+Execution options (``run`` / ``all`` / ``report`` share one group):
+
+* ``--backend {object,fast}`` -- simulation backend, applied to the
+  experiments that declare support for it.
+* ``--jobs N`` -- worker processes (``run``: granted to the
+  experiment's internal sweeps; ``all``/``report``: across
+  experiments).
+* ``--cache-dir PATH`` -- JSON result cache *and* the checkpoint
+  journal (``PATH/journal.jsonl``).
+* ``--resume`` -- replay the journal: skip completed tasks, re-queue
+  in-flight ones (requires ``--cache-dir``).
+* ``--timeout S`` / ``--retries N`` / ``--max-failures N`` -- per-task
+  wall-clock budget, retry budget for transient failures, and the
+  number of fatally-failed tasks tolerated before aborting.
+* ``--inject-fault KIND@K`` -- deterministic fault injection for
+  testing the above (see ``docs/ROBUSTNESS.md``).
+
+Observability (same commands):
 
 * ``--log-level LEVEL`` -- human-readable ``repro.*`` logs on stderr.
 * ``--log-json PATH`` -- append every log record *and* span event to a
@@ -37,6 +58,7 @@ import ast
 import json
 import sys
 from contextlib import ExitStack
+from pathlib import Path
 from typing import Any
 
 from repro.analysis.registry import available_experiments
@@ -94,6 +116,98 @@ def _observability_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _execution_options() -> argparse.ArgumentParser:
+    """Shared backend/jobs/cache/fault-tolerance options.
+
+    ``run``, ``all`` and ``report`` used to wire these individually
+    (and drifted); one parent parser now builds the group for all
+    three.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--backend",
+        choices=["object", "fast"],
+        default="object",
+        help=(
+            "simulation backend: 'object' drives one process object per "
+            "node, 'fast' the vectorized batch engine; applied to the "
+            "experiments that declare support for it (default: object)"
+        ),
+    )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes (default: serial); for `run` this is "
+            "granted to the experiment's internal sweeps"
+        ),
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache results as JSON under PATH, keyed by (experiment, "
+            "params), and keep the checkpoint journal at "
+            "PATH/journal.jsonl; cached experiments are not re-run"
+        ),
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay the checkpoint journal: skip completed tasks, "
+            "re-queue in-flight ones (requires --cache-dir)"
+        ),
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "wall-clock budget per task attempt in seconds; hung "
+            "workers are terminated and retried (needs --jobs >= 2)"
+        ),
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "extra attempts per task after a transient failure (worker "
+            "crash, timeout, I/O); deterministic bugs never retry "
+            "(default: 2)"
+        ),
+    )
+    group.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fatally-failed tasks tolerated before the sweep aborts; "
+            "tolerated failures appear as failing results in the "
+            "output (default: 0, fail fast)"
+        ),
+    )
+    group.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="KIND@K",
+        help=(
+            "testing: deterministically inject a fault "
+            "(raise|fatal|hang|kill) into the K-th pending task's "
+            "first attempt"
+        ),
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -103,11 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     obs_options = _observability_options()
+    exec_options = _execution_options()
+    shared = [obs_options, exec_options]
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("list", help="list available experiments")
-    run = commands.add_parser(
-        "run", parents=[obs_options], help="run one experiment"
-    )
+    run = commands.add_parser("run", parents=shared, help="run one experiment")
     run.add_argument("experiment", help="experiment id (see `repro list`)")
     run.add_argument(
         "--param",
@@ -116,46 +230,10 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="override an experiment parameter (repeatable)",
     )
-    run.add_argument(
-        "--backend",
-        choices=["object", "fast"],
-        default="object",
-        help=(
-            "simulation backend: 'object' drives one process object per "
-            "node, 'fast' the vectorized batch engine (default: object)"
-        ),
-    )
-    run_all = commands.add_parser(
-        "all", parents=[obs_options], help="run every experiment"
-    )
-    run_all.add_argument(
-        "--backend",
-        choices=["object", "fast"],
-        default="object",
-        help=(
-            "simulation backend for the experiments that support one "
-            "(default: object)"
-        ),
-    )
-    run_all.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run experiments over N worker processes (default: serial)",
-    )
-    run_all.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="PATH",
-        help=(
-            "cache results as JSON under PATH, keyed by (experiment, "
-            "params); cached experiments are not re-run"
-        ),
-    )
+    commands.add_parser("all", parents=shared, help="run every experiment")
     report = commands.add_parser(
         "report",
-        parents=[obs_options],
+        parents=shared,
         help="run every experiment and write a Markdown report",
     )
     report.add_argument("path", help="output file (e.g. report.md)")
@@ -165,25 +243,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict to specific experiment ids (repeatable)",
     )
-    report.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run the report's experiments over N worker processes",
-    )
-    report.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="PATH",
-        help="reuse/store experiment results under PATH (see `all`)",
-    )
-    report.add_argument(
-        "--backend",
-        choices=["object", "fast"],
-        default="object",
-        help="simulation backend for supporting experiments (see `all`)",
-    )
     stats = commands.add_parser(
         "stats",
         help="summarise a --metrics-out snapshot or --log-json event file",
@@ -192,57 +251,100 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _sweep_params(args: argparse.Namespace) -> dict[str, Any] | None:
-    """Sweep-wide overrides from CLI flags (``None`` when all-default).
+def _runtime_setup(args: argparse.Namespace) -> dict[str, Any]:
+    """Shared ``run_sweep`` keyword arguments from the execution flags."""
+    from repro.analysis.runtime import (
+        FaultPlan,
+        Journal,
+        ResultCache,
+        RetryPolicy,
+    )
 
-    Returning ``None`` for a default (``object``) run keeps cache keys
-    identical to pre-``--backend`` invocations.
-    """
-    return {"backend": args.backend} if args.backend != "object" else None
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    journal = (
+        Journal(Path(args.cache_dir) / "journal.jsonl")
+        if args.cache_dir
+        else None
+    )
+    if args.resume and journal is None:
+        raise SystemExit(
+            "--resume requires --cache-dir: the checkpoint journal and "
+            "the completed results live there"
+        )
+    try:
+        policy = RetryPolicy(
+            retries=args.retries,
+            timeout_s=args.timeout,
+            max_failures=args.max_failures,
+        )
+        faults = (
+            FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return {
+        "cache": cache,
+        "journal": journal,
+        "resume": args.resume,
+        "policy": policy,
+        "faults": faults,
+    }
 
 
 def _execute(args: argparse.Namespace) -> int:
     """Run the instrumented command (``run`` / ``all`` / ``report``)."""
-    if args.command == "run":
-        from repro.analysis.parallel import timed_run
-        from repro.analysis.registry import experiment_accepts
+    from repro.analysis.registry import ExperimentRequest, experiment_options
+    from repro.analysis.runtime import run_sweep
 
+    backend = args.backend if args.backend != "object" else None
+    runtime = _runtime_setup(args)
+    if args.command == "run":
         params = _parse_params(args.param)
-        if args.backend != "object":
-            if not experiment_accepts(args.experiment, "backend"):
-                raise SystemExit(
-                    f"experiment {args.experiment!r} does not support "
-                    f"--backend {args.backend} (it never touches the "
-                    "simulation engine)"
-                )
-            params.setdefault("backend", args.backend)
-        result = timed_run(args.experiment, **params)
+        if backend is not None and "backend" not in experiment_options(
+            args.experiment
+        ):
+            raise SystemExit(
+                f"experiment {args.experiment!r} does not support "
+                f"--backend {args.backend} (it never touches the "
+                "simulation engine)"
+            )
+        request = ExperimentRequest(
+            experiment=args.experiment,
+            params=params,
+            backend=backend,
+            jobs=args.jobs if args.jobs > 1 else None,
+        )
+        outcome = run_sweep([request], jobs=1, **runtime)
+        result = outcome.results[0]
         print(result.render())
+        for line in outcome.provenance:
+            print(f"provenance: {line}")
         return 0 if result.passed else 1
     if args.command == "report":
         from repro.analysis.reporting import write_report
 
+        names = args.experiment or available_experiments()
+        requests = [
+            ExperimentRequest(experiment=name, backend=backend)
+            for name in names
+        ]
         path = write_report(
-            args.path,
-            experiments=args.experiment,
-            jobs=args.jobs,
-            cache=args.cache_dir,
-            params=_sweep_params(args),
+            args.path, requests=requests, jobs=args.jobs, **runtime
         )
         print(f"report written to {path}")
         return 0
     # command == "all"
-    from repro.analysis.parallel import ResultCache, run_experiments
-
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    all_passed = True
-    for result in run_experiments(
-        jobs=args.jobs, cache=cache, params=_sweep_params(args)
-    ):
+    requests = [
+        ExperimentRequest(experiment=name, backend=backend)
+        for name in available_experiments()
+    ]
+    outcome = run_sweep(requests, jobs=args.jobs, **runtime)
+    for result in outcome.results:
         print(result.render())
         print()
-        all_passed &= result.passed
-    return 0 if all_passed else 1
+    for line in outcome.provenance:
+        print(f"provenance: {line}")
+    return 0 if outcome.passed else 1
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.adversaries.worst_case import max_ambiguity_multigraph
-from repro.analysis.registry import experiment_accepts, run_experiment
+from repro.analysis.registry import experiment_options, run_experiment
 from repro.cli import main
 from repro.core.counting.chain import count_chain_pd2
 from repro.core.counting.flooding import flood_time_via_protocol, flood_times_batch
@@ -200,8 +200,8 @@ class TestProtocolEquivalence:
 
 class TestExperimentEquivalence:
     @pytest.mark.parametrize("experiment", sorted(BACKEND_EXPERIMENTS))
-    def test_signature_accepts_backend(self, experiment):
-        assert experiment_accepts(experiment, "backend")
+    def test_declares_backend_option(self, experiment):
+        assert "backend" in experiment_options(experiment)
 
     @pytest.mark.parametrize("experiment", sorted(BACKEND_EXPERIMENTS))
     def test_fast_matches_object(self, experiment):
@@ -212,8 +212,9 @@ class TestExperimentEquivalence:
         assert object_result.passed and fast_result.passed
         rows_equivalent(object_result.rows, fast_result.rows)
 
-    def test_experiment_accepts_unknown_param_false(self):
-        assert not experiment_accepts("tab-star-pd1", "no_such_param")
+    def test_undeclared_option_absent(self):
+        assert "seed" not in experiment_options("tab-star-pd1")
+        assert "jobs" not in experiment_options("tab-star-pd1")
 
 
 class TestCliBackend:

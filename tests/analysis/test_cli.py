@@ -48,10 +48,10 @@ class TestCli:
     def test_all_accepts_jobs_and_cache(self, tmp_path, capsys, monkeypatch):
         # Shrink the registry to keep `all` fast; exercise both the
         # parallel dispatch and the cache round-trip.
-        from repro.analysis import parallel as parallel_mod
+        import repro.cli as cli_mod
 
         monkeypatch.setattr(
-            parallel_mod,
+            cli_mod,
             "available_experiments",
             lambda: ["tab-star-pd1"],
         )
@@ -166,10 +166,10 @@ class TestCliObservability:
         """Acceptance: --jobs N aggregates the same counters as serial."""
         import json
 
-        from repro.analysis import parallel as parallel_mod
+        import repro.cli as cli_mod
 
         monkeypatch.setattr(
-            parallel_mod,
+            cli_mod,
             "available_experiments",
             lambda: ["tab-star-pd1", "tab-kernel-structure"],
         )

@@ -1,0 +1,400 @@
+"""Tests for the fault-tolerant sweep runtime.
+
+Fast-by-construction: every sweep here uses tiny star/kernel
+parameterisations, retries with near-zero backoff, and the
+deterministic fault-injection harness from
+``repro.analysis.runtime.faults``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.parallel import parallel_map
+from repro.analysis.registry import ExperimentRequest
+from repro.analysis.runtime import (
+    FaultPlan,
+    Journal,
+    ResultCache,
+    RetryPolicy,
+    TaskTimeout,
+    WorkerCrash,
+    classify_error,
+    run_sweep,
+)
+from repro.analysis.runtime.errors import FATAL, RETRYABLE
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+#: A sweep of three distinct tiny tasks (distinct params => distinct
+#: cache/journal keys).
+REQUESTS = [
+    ExperimentRequest("tab-star-pd1", params={"sizes": sizes})
+    for sizes in ((2,), (2, 5), (2, 5, 9))
+]
+
+#: Retry fast: single retry, millisecond backoff, no jitter.
+QUICK_RETRY = RetryPolicy(retries=1, backoff_s=0.001, jitter=0.0)
+
+
+def counters_of(registry: MetricsRegistry) -> dict[str, int]:
+    return registry.snapshot()["counters"]
+
+
+class TestRetryPolicy:
+    def test_attempts(self):
+        assert RetryPolicy(retries=0).attempts() == 1
+        assert RetryPolicy(retries=3).attempts() == 4
+
+    def test_delay_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(backoff_s=0.5, backoff_factor=2.0, jitter=0.25)
+        first = policy.delay_s(3, 1)
+        assert first == policy.delay_s(3, 1)  # pure function
+        assert 0.5 <= first <= 0.5 * 1.25
+        assert 1.0 <= policy.delay_s(3, 2) <= 1.0 * 1.25
+        assert policy.delay_s(3, 1) != policy.delay_s(4, 1)  # jitter spread
+
+    def test_no_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_s=0.25, backoff_factor=2.0, jitter=0.0)
+        assert policy.delay_s(0, 1) == 0.25
+        assert policy.delay_s(0, 3) == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"timeout_s": 0},
+            {"max_failures": -1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestErrorClassification:
+    def test_retryable(self):
+        for exc in (
+            WorkerCrash("died"),
+            TaskTimeout("slow"),
+            OSError("io"),
+            TimeoutError(),
+            EOFError(),
+            MemoryError(),
+        ):
+            assert classify_error(exc) == RETRYABLE
+
+    def test_fatal(self):
+        for exc in (ValueError("bad"), AssertionError(), KeyError("x")):
+            assert classify_error(exc) == FATAL
+
+
+class TestFaultPlan:
+    def test_parse_pinned(self):
+        plan = FaultPlan.parse("kill@3")
+        assert (plan.kind, plan.at) == ("kill", 3)
+        assert plan.target(10) == 3
+
+    def test_parse_seeded(self):
+        plan = FaultPlan.parse("raise")
+        assert plan.at is None
+        assert plan.target(7) == plan.target(7)  # deterministic draw
+        assert 0 <= plan.target(7) < 7
+
+    @pytest.mark.parametrize("text", ["explode@1", "kill@x"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="kill", at=-1)
+
+
+class TestJournal:
+    def test_replay_folds_last_event(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.record_sweep(tasks=2, resume=False)
+        journal.record_started(
+            "tab-a-1111", experiment="tab-a", params_hash="1111", attempt=1
+        )
+        journal.record_started(
+            "tab-b-2222", experiment="tab-b", params_hash="2222", attempt=1
+        )
+        journal.record_failed(
+            "tab-b-2222", attempt=1, error="boom", kind="retryable", final=False
+        )
+        journal.record_completed(
+            "tab-a-1111", attempt=1, result_path="/tmp/a.json"
+        )
+        journal.close()
+        entries = journal.replay()
+        assert entries["tab-a-1111"].status == "completed"
+        assert entries["tab-a-1111"].result_path == "/tmp/a.json"
+        assert entries["tab-b-2222"].status == "retrying"
+        assert entries["tab-b-2222"].error == "boom"
+
+    def test_unreadable_line_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record_started(
+            "tab-a-1111", experiment="tab-a", params_hash="1111", attempt=1
+        )
+        journal.close()
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "completed", "task": "tab-a-1')  # torn
+        entries = journal.replay()
+        assert entries["tab-a-1111"].status == "started"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal(tmp_path / "nope.jsonl").replay() == {}
+
+    def test_truncate(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.record_sweep(tasks=1, resume=False)
+        journal.truncate()
+        assert journal.replay() == {}
+
+
+class TestRunSweepSerial:
+    def test_results_in_request_order(self):
+        outcome = run_sweep(REQUESTS)
+        assert outcome.passed and not outcome.provenance
+        assert [len(r.rows) for r in outcome.results] == [1, 2, 3]
+
+    def test_string_shorthand(self):
+        outcome = run_sweep(["tab-kernel-structure"])
+        assert outcome.results[0].experiment == "tab-kernel-structure"
+
+    def test_unknown_id_fails_before_running(self):
+        with pytest.raises(KeyError, match="tab-nope"):
+            run_sweep(["tab-nope"])
+
+    def test_transient_fault_is_retried(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS,
+                journal=journal,
+                policy=QUICK_RETRY,
+                faults=FaultPlan(kind="raise", at=1),
+            )
+        assert outcome.passed and outcome.failed == 0
+        counters = counters_of(registry)
+        assert counters["runtime.retries"] == 1
+        assert counters["runtime.faults.injected"] == 1
+        assert counters["runtime.tasks.completed"] == 3
+        entries = journal.replay()
+        assert all(e.status == "completed" for e in entries.values())
+
+    def test_kill_fault_simulated_in_process(self):
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS, policy=QUICK_RETRY, faults=FaultPlan(kind="kill", at=0)
+            )
+        assert outcome.passed
+        assert counters_of(registry)["runtime.retries"] == 1
+
+    def test_fatal_fault_aborts_with_original_exception(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        with pytest.raises(ValueError, match="injected fatal fault"):
+            run_sweep(
+                REQUESTS,
+                journal=journal,
+                policy=QUICK_RETRY,
+                faults=FaultPlan(kind="fatal", at=1),
+            )
+        entries = journal.replay()
+        statuses = {e.task: e.status for e in entries.values()}
+        assert list(statuses.values()).count("completed") == 1
+        assert list(statuses.values()).count("failed") == 1
+
+    def test_fatal_fault_never_retries(self):
+        with use_registry(MetricsRegistry()) as registry:
+            with pytest.raises(ValueError):
+                run_sweep(
+                    REQUESTS,
+                    policy=RetryPolicy(retries=5, backoff_s=0.001),
+                    faults=FaultPlan(kind="fatal", at=0),
+                )
+        assert "runtime.retries" not in counters_of(registry)
+
+    def test_failure_budget_tolerates_and_synthesizes(self):
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS,
+                policy=RetryPolicy(retries=0, max_failures=1),
+                faults=FaultPlan(kind="fatal", at=1),
+            )
+        assert not outcome.passed and outcome.failed == 1
+        assert len(outcome.results) == 3
+        placeholder = outcome.results[1]
+        assert placeholder.checks == {"completed": False}
+        assert "injected fatal fault" in placeholder.rows[0]["error"]
+        assert any("failed after 1 attempt" in p for p in outcome.provenance)
+        assert counters_of(registry)["runtime.tasks.failed"] == 1
+
+    def test_cache_reuse_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(REQUESTS, cache=cache)
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(REQUESTS, cache=cache)
+        assert outcome.passed
+        counters = counters_of(registry)
+        assert counters["cache.hits"] == 3
+        assert "experiments.run" not in counters
+
+    def test_cache_policy_off_skips_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = ExperimentRequest(
+            "tab-star-pd1", params={"sizes": (2,)}, cache_policy="off"
+        )
+        run_sweep([request], cache=cache)
+        assert not list(tmp_path.glob("tab-star-pd1-*.json"))
+
+
+class TestRunSweepPool:
+    def test_matches_serial_results_and_metrics(self):
+        with use_registry(MetricsRegistry()) as serial_registry:
+            serial = run_sweep(REQUESTS)
+        with use_registry(MetricsRegistry()) as pool_registry:
+            pooled = run_sweep(REQUESTS, jobs=2)
+        assert [r.rows for r in pooled.results] == [
+            r.rows for r in serial.results
+        ]
+        serial_counters = {
+            k: v
+            for k, v in counters_of(serial_registry).items()
+            if not k.startswith("runtime.")
+        }
+        pool_counters = {
+            k: v
+            for k, v in counters_of(pool_registry).items()
+            if not k.startswith("runtime.")
+        }
+        assert serial_counters == pool_counters
+
+    def test_worker_kill_is_retried(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS,
+                jobs=2,
+                journal=journal,
+                policy=QUICK_RETRY,
+                faults=FaultPlan(kind="kill", at=0),
+            )
+        assert outcome.passed and outcome.failed == 0
+        counters = counters_of(registry)
+        assert counters["runtime.worker_deaths"] == 1
+        assert counters["runtime.retries"] == 1
+        assert counters["runtime.tasks.completed"] == 3
+        assert all(e.status == "completed" for e in journal.replay().values())
+
+    def test_hang_is_timed_out_and_retried(self):
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS,
+                jobs=2,
+                policy=RetryPolicy(
+                    retries=1, timeout_s=0.75, backoff_s=0.001, jitter=0.0
+                ),
+                faults=FaultPlan(kind="hang", at=1),
+            )
+        assert outcome.passed
+        counters = counters_of(registry)
+        assert counters["runtime.timeouts"] == 1
+        assert counters["runtime.retries"] == 1
+
+    def test_degrades_to_serial_after_worker_deaths(self):
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS,
+                jobs=2,
+                policy=QUICK_RETRY,
+                faults=FaultPlan(kind="kill", at=0),
+                degrade_after=1,
+            )
+        assert outcome.passed
+        assert counters_of(registry)["runtime.degraded"] == 1
+        assert any("degraded to serial" in p for p in outcome.provenance)
+
+    def test_kill_without_retries_aborts(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        with pytest.raises(WorkerCrash, match="worker died"):
+            run_sweep(
+                REQUESTS,
+                jobs=2,
+                journal=journal,
+                policy=RetryPolicy(retries=0),
+                faults=FaultPlan(kind="kill", at=0),
+            )
+        text = (tmp_path / "journal.jsonl").read_text()
+        assert '"event": "aborted"' in text
+
+
+class TestResumeSemantics:
+    def test_resume_skips_completed_and_requeues_rest(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        journal = Journal(tmp_path / "cache" / "journal.jsonl")
+        with pytest.raises(ValueError):
+            run_sweep(
+                REQUESTS,
+                cache=cache,
+                journal=journal,
+                policy=RetryPolicy(retries=0),
+                faults=FaultPlan(kind="fatal", at=2),
+            )
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS, cache=cache, journal=journal, resume=True
+            )
+        assert outcome.passed and outcome.skipped == 2
+        counters = counters_of(registry)
+        assert counters["runtime.resume.skipped"] == 2
+        assert counters["runtime.resume.requeued"] == 1
+        assert counters["experiments.run"] == 1  # zero re-execution
+        assert any("resumed: 2 completed" in p for p in outcome.provenance)
+        reference = run_sweep(REQUESTS)
+        assert [r.rows for r in outcome.results] == [
+            r.rows for r in reference.results
+        ]
+        assert [r.checks for r in outcome.results] == [
+            r.checks for r in reference.results
+        ]
+
+    def test_fresh_run_truncates_journal(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.record_started(
+            "tab-zzz-0000", experiment="tab-zzz", params_hash="0000", attempt=1
+        )
+        run_sweep(REQUESTS[:1], journal=journal)
+        assert "tab-zzz" not in (tmp_path / "journal.jsonl").read_text()
+
+    def test_resume_on_empty_journal_runs_everything(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS[:2], journal=journal, resume=True
+            )
+        assert outcome.passed and outcome.skipped == 0
+        assert counters_of(registry)["experiments.run"] == 2
+
+
+def _crash_on_three(value: int) -> int:
+    if value == 3:
+        os._exit(13)
+    return value * 2
+
+
+class TestParallelMapCrash:
+    def test_worker_death_names_the_item(self):
+        """An ``os._exit`` mid-item surfaces as WorkerCrash naming the
+        lost item, not as an opaque BrokenProcessPool."""
+        with pytest.raises(
+            WorkerCrash, match=r"worker process died while running item"
+        ) as excinfo:
+            parallel_map(_crash_on_three, range(6), jobs=2)
+        assert "_crash_on_three" in str(excinfo.value)

@@ -1,0 +1,175 @@
+"""End-to-end crash/resume acceptance test.
+
+A fault-injected ``repro all --jobs 4`` run (worker killed mid-sweep,
+no retry budget) must abort; ``repro all --resume`` must then finish
+the sweep **without re-executing any completed task** and render
+exactly what an uninterrupted run renders, modulo timings and cache
+notes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runtime import WorkerCrash
+from repro.cli import main
+
+#: Enough tiny experiments that a --jobs 4 sweep is genuinely
+#: mid-flight when task 4 is struck: the kill target only spawns after
+#: a pool slot frees up, i.e. after at least one task has completed.
+EXPERIMENTS = [
+    "fig1-pd2-example",
+    "fig2-transformation",
+    "fig3-indistinguishable-r0",
+    "fig4-indistinguishable-r1",
+    "tab-kernel-structure",
+    "tab-star-pd1",
+]
+
+
+def _shrink_registry(monkeypatch):
+    import repro.cli as cli_mod
+
+    monkeypatch.setattr(
+        cli_mod, "available_experiments", lambda: list(EXPERIMENTS)
+    )
+
+
+#: Run-dependent line prefixes: timings and cache-hit notes (in both
+#: the CLI ``note:`` rendering and the report's ``- `` bullets), and
+#: the ``all`` command's provenance lines.
+_VOLATILE = (
+    "note: timing:",
+    "note: cache: hit",
+    "- timing:",
+    "- cache: hit",
+    "provenance:",
+)
+
+
+def _normalize(report: str) -> str:
+    """Strip run-dependent lines: timings, cache-hit notes, and the
+    provenance section (which intentionally differs on a resumed run)."""
+    lines = []
+    in_provenance = False
+    for line in report.splitlines():
+        if line.startswith("## "):
+            in_provenance = line == "## Run provenance"
+        elif line.startswith("---"):
+            in_provenance = False
+        if in_provenance or line.startswith(_VOLATILE):
+            continue
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _counters(path) -> dict[str, int]:
+    return json.loads(path.read_text())["counters"]
+
+
+class TestCrashResumeEquivalence:
+    def test_resumed_all_matches_uninterrupted(self, tmp_path, monkeypatch, capsys):
+        _shrink_registry(monkeypatch)
+        cache_dir = tmp_path / "cache"
+        base = ["all", "--jobs", "4", "--cache-dir", str(cache_dir)]
+
+        # Uninterrupted reference run (separate cache: no sharing).
+        assert (
+            main(
+                [
+                    "all",
+                    "--jobs",
+                    "4",
+                    "--cache-dir",
+                    str(tmp_path / "reference-cache"),
+                ]
+            )
+            == 0
+        )
+        reference = capsys.readouterr().out
+
+        # Crash mid-sweep: worker killed on task 4, no retries, no
+        # failure budget -> the sweep aborts with the crash.
+        with pytest.raises(WorkerCrash):
+            main([*base, "--inject-fault", "kill@4", "--retries", "0"])
+        capsys.readouterr()
+        journal = cache_dir / "journal.jsonl"
+        assert journal.exists()
+        events = [json.loads(line) for line in journal.read_text().splitlines()]
+        completed = {
+            event["task"] for event in events if event["event"] == "completed"
+        }
+        # The kill target spawned only after a slot freed up, so the
+        # crash really was mid-sweep: some tasks done, not all.
+        assert 1 <= len(completed) < len(EXPERIMENTS)
+        assert any(event["event"] == "aborted" for event in events)
+
+        # Resume: completed tasks skipped, the rest (re-)run.
+        metrics_path = tmp_path / "resume-metrics.json"
+        assert (
+            main([*base, "--resume", "--metrics-out", str(metrics_path)]) == 0
+        )
+        resumed = capsys.readouterr().out
+
+        counters = _counters(metrics_path)
+        assert counters["runtime.resume.skipped"] == len(completed)
+        # Zero re-execution of completed tasks: only the remainder ran.
+        assert counters["experiments.run"] == len(EXPERIMENTS) - len(completed)
+        assert "resumed:" in resumed
+
+        # Byte-equivalent output modulo timings/cache notes/provenance.
+        assert _normalize(resumed) == _normalize(reference)
+        assert "PASS" in resumed and "FAIL" not in resumed
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires --cache-dir"):
+            main(["all", "--resume"])
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit, match="inject-fault"):
+            main(["all", "--inject-fault", "kill@x"])
+
+    def test_resumed_report_matches_uninterrupted(self, tmp_path, monkeypatch, capsys):
+        """Same guarantee through ``repro report``: the resumed report
+        file equals the uninterrupted one modulo timings/cache notes."""
+        _shrink_registry(monkeypatch)
+        cache_dir = tmp_path / "cache"
+        reference_path = tmp_path / "reference.md"
+        resumed_path = tmp_path / "resumed.md"
+        assert main(["report", str(reference_path), "--jobs", "4"]) == 0
+        with pytest.raises(WorkerCrash):
+            main(
+                [
+                    "report",
+                    str(resumed_path),
+                    "--jobs",
+                    "4",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--inject-fault",
+                    "kill@4",
+                    "--retries",
+                    "0",
+                ]
+            )
+        assert (
+            main(
+                [
+                    "report",
+                    str(resumed_path),
+                    "--jobs",
+                    "4",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert _normalize(resumed_path.read_text()) == _normalize(
+            reference_path.read_text()
+        )
+        assert "all experiments passed" in resumed_path.read_text()
