@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke verify-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +48,15 @@ bench:
 # sweep, asserting the speedup floor recorded in BENCH_engine.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick
+
+# Property-based verification gate: fixed-seed fuzz over all four
+# suites, then the seeded-mutant self-test proving the harness detects,
+# shrinks, and replays injected violations (docs/VERIFICATION.md).
+# Shrunk counterexamples land in .repro-verify/ for CI to archive.
+verify-smoke:
+	$(PYTHON) -m repro verify --fuzz 50 --seed 0 --fixtures-dir .repro-verify
+	$(PYTHON) -m repro verify --self-test --fixtures-dir .repro-verify-selftest
+	@rm -rf .repro-verify-selftest
 
 experiments:
 	$(PYTHON) -m repro all

@@ -40,10 +40,33 @@ class ResultCache:
 
     @staticmethod
     def key(experiment: str, params: dict[str, Any]) -> str:
-        """Digest of ``(experiment, params)`` (stable across processes)."""
-        blob = json.dumps(
-            [experiment, sorted(params.items())], sort_keys=True, default=repr
-        )
+        """Digest of ``(experiment, params)`` (stable across processes).
+
+        Raises:
+            TypeError: A parameter value is not JSON-serialisable.  Such
+                a value used to be hashed through its ``repr`` -- which
+                for plain objects embeds the memory address, so cache
+                and journal identity silently changed on every run.
+                Failing loudly (naming the offending key) is the only
+                stable behaviour.
+        """
+        try:
+            blob = json.dumps(
+                [experiment, sorted(params.items())], sort_keys=True
+            )
+        except TypeError:
+            for name, value in sorted(params.items()):
+                try:
+                    json.dumps(value)
+                except TypeError:
+                    raise TypeError(
+                        f"experiment {experiment!r}: parameter {name!r} "
+                        f"= {value!r} ({type(value).__name__}) is not "
+                        f"JSON-serialisable, so it cannot form a stable "
+                        f"cache/journal identity; pass a JSON-clean "
+                        f"value (numbers, strings, lists, dicts)"
+                    ) from None
+            raise
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def path(self, experiment: str, params: dict[str, Any]) -> Path:

@@ -29,7 +29,10 @@ class RetryPolicy:
         timeout_s: Wall-clock budget per attempt; hung workers are
             terminated once it elapses.  ``None`` disables timeouts.
             Enforced only for process-backed attempts -- an in-process
-            (serial) attempt cannot be preempted.
+            (serial) attempt cannot be preempted, so serial execution
+            (including after graceful degradation) logs a ``runtime``
+            warning and adds a provenance note instead of silently
+            dropping the budget.
         max_failures: Fatally-failed tasks tolerated before the sweep
             aborts.  0 (the default) keeps the historical fail-fast
             behaviour; raising it lets a long sweep limp to the end and

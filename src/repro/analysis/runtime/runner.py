@@ -330,6 +330,22 @@ class _SweepRunner:
     def run_serial(
         self, queue: list[_Task], results: dict[int, ExperimentResult]
     ) -> None:
+        if queue and self.policy.timeout_s is not None:
+            # An in-process attempt cannot be preempted, so the
+            # wall-clock budget silently evaporates here unless we say
+            # so: warn once and leave a provenance trace in the report.
+            _log.warning(
+                "timeout not enforced for in-process attempts",
+                extra={
+                    "timeout_s": self.policy.timeout_s,
+                    "tasks": len(queue),
+                },
+            )
+            self.provenance.append(
+                f"timeout {self.policy.timeout_s:g}s not enforced for "
+                f"{len(queue)} in-process (serial) task(s); attempts "
+                f"cannot be preempted without --jobs >= 2"
+            )
         while queue:
             now = time.monotonic()
             ready = [t for t in queue if t.ready_at <= now]

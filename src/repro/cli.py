@@ -14,6 +14,10 @@ Usage::
     python -m repro run tab-kernel-structure --metrics-out m.json
     python -m repro all --log-level debug --log-json events.jsonl
     python -m repro stats m.json
+    python -m repro verify --fuzz 200 --seed 0
+    python -m repro verify --suite kernel --suite backend
+    python -m repro verify --self-test
+    python -m repro verify --replay .repro-verify/kernel-...json
 
 Parameters given as ``--param name=value`` are parsed as Python literals
 and forwarded to the experiment function.  Every command builds typed
@@ -49,6 +53,12 @@ Observability (same commands):
   stderr when the command finishes.
 
 ``repro stats PATH`` summarises either artifact back into tables.
+
+``repro verify`` fuzzes the property-based verification suites of
+:mod:`repro.verify` (model invariants, the paper's kernel identities,
+object-vs-fast backend equivalence, sweep-runtime equivalence); failing
+cases are shrunk and persisted as replayable fixtures.  See
+``docs/VERIFICATION.md``.
 """
 
 from __future__ import annotations
@@ -248,6 +258,63 @@ def _build_parser() -> argparse.ArgumentParser:
         help="summarise a --metrics-out snapshot or --log-json event file",
     )
     stats.add_argument("path", help="metrics JSON or JSONL event file")
+    verify = commands.add_parser(
+        "verify",
+        parents=[obs_options],
+        help="fuzz the property-based verification suites",
+    )
+    verify.add_argument(
+        "--fuzz",
+        type=int,
+        default=50,
+        metavar="N",
+        help=(
+            "cases per suite (the runtime suite draws N/40: each of its "
+            "cases runs a workload three full times; default: 50)"
+        ),
+    )
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="master seed; the generated case list is a pure function "
+        "of it (default: 0)",
+    )
+    verify.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        choices=["model", "kernel", "backend", "runtime"],
+        help="restrict to specific suites (repeatable; default: all)",
+    )
+    verify.add_argument(
+        "--fixtures-dir",
+        default=".repro-verify",
+        metavar="PATH",
+        help="persist shrunk counterexamples as replayable JSON "
+        "fixtures under PATH (default: .repro-verify)",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as generated, without minimising",
+    )
+    verify.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "arm each seeded mutant and prove the harness detects the "
+            "injected violation, shrinks it to the minimum, and emits "
+            "a replayable fixture (runs instead of the fuzz suites)"
+        ),
+    )
+    verify.add_argument(
+        "--replay",
+        default=None,
+        metavar="FIXTURE",
+        help="re-run one persisted fixture instead of fuzzing",
+    )
     return parser
 
 
@@ -291,8 +358,52 @@ def _runtime_setup(args: argparse.Namespace) -> dict[str, Any]:
     }
 
 
+def _execute_verify(args: argparse.Namespace) -> int:
+    """Run the ``verify`` command (fuzz, self-test, or fixture replay)."""
+    from repro.verify import replay_fixture, run_self_test, run_verify
+
+    if args.replay:
+        violations = replay_fixture(args.replay)
+        if violations:
+            print(f"fixture {args.replay} still fails:")
+            for message in violations:
+                print(f"  {message}")
+            return 1
+        print(
+            f"fixture {args.replay} passes -- the bug it captured is "
+            f"fixed; promote it to a regression test"
+        )
+        return 0
+    if args.self_test:
+        problems = run_self_test(
+            seed=args.seed, fixtures_dir=args.fixtures_dir
+        )
+        if problems:
+            print("self-test FAILED:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(
+            "self-test passed: every seeded mutant was detected, "
+            "shrunk to a minimal case, and replayed from its fixture"
+        )
+        return 0
+    report = run_verify(
+        fuzz=args.fuzz,
+        seed=args.seed,
+        suites=args.suite,
+        fixtures_dir=args.fixtures_dir,
+        do_shrink=not args.no_shrink,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _execute(args: argparse.Namespace) -> int:
     """Run the instrumented command (``run`` / ``all`` / ``report``)."""
+    if args.command == "verify":
+        return _execute_verify(args)
+
     from repro.analysis.registry import ExperimentRequest, experiment_options
     from repro.analysis.runtime import run_sweep
 

@@ -34,6 +34,14 @@ class DynamicGraph:
         n: Number of nodes; every round's graph must span ``{0..n-1}``.
         provider: Function mapping a round number to that round's graph.
         name: Optional human-readable description (used in reports).
+        copy_on_cache: Snapshot (``graph.copy()``) each provider-built
+            graph before caching it.  On by default: a provider that
+            keeps a live reference to the graph it returned (and later
+            mutates it) must not silently corrupt the cached round.
+            :meth:`from_graphs` disables it -- the prefix is already a
+            private snapshot, and reusing the *same* object across
+            rounds is what lets ``to_csr`` memoize lowering for
+            ``extend="hold"``/``"cycle"`` by object identity.
 
     The per-round graphs are cached, so a stochastic ``provider`` is
     sampled once per round and every later inspection (property checks,
@@ -46,12 +54,14 @@ class DynamicGraph:
         provider: Callable[[int], nx.Graph],
         *,
         name: str = "dynamic-graph",
+        copy_on_cache: bool = True,
     ) -> None:
         if n < 1:
             raise ValueError("a dynamic graph needs at least one node")
         self.n = n
         self.name = name
         self._provider = provider
+        self._copy_on_cache = copy_on_cache
         self._cache: dict[int, nx.Graph] = {}
         self._adjacency = AdjacencyCache()
 
@@ -66,7 +76,11 @@ class DynamicGraph:
         """Build a dynamic graph from an explicit finite prefix.
 
         Args:
-            graphs: The graphs of rounds ``0..len(graphs)-1``.
+            graphs: The graphs of rounds ``0..len(graphs)-1``.  Every
+                graph must span exactly ``{0..n-1}`` for one shared
+                ``n``; anything else raises :class:`ModelError` here,
+                eagerly, rather than :class:`TopologyError` at the
+                first ``at()`` call.
             extend: What happens after the prefix -- ``"hold"`` repeats
                 the last graph forever, ``"cycle"`` loops back to round
                 0, ``"strict"`` raises :class:`TopologyError` if a round
@@ -80,7 +94,15 @@ class DynamicGraph:
         if len(node_sets) != 1:
             raise ModelError(
                 "all graphs of a dynamic graph must share one node set "
-                "(the process set V is static)"
+                "(the process set V is static); got "
+                f"{len(node_sets)} distinct node sets"
+            )
+        nodes = node_sets.pop()
+        expected = frozenset(range(len(nodes)))
+        if nodes != expected:
+            raise ModelError(
+                f"graph nodes must be exactly {{0..{len(nodes) - 1}}}; "
+                f"unexpected labels {sorted(nodes - expected)}"
             )
         snapshot = [graph.copy() for graph in graphs]
         prefix_len = len(snapshot)
@@ -97,7 +119,7 @@ class DynamicGraph:
                 f"0..{prefix_len - 1} are defined (extend='strict')"
             )
 
-        return cls(len(node_sets.pop()), provider, name=name)
+        return cls(len(nodes), provider, name=name, copy_on_cache=False)
 
     def at(self, round_no: int) -> nx.Graph:
         """Return the graph of round ``round_no`` (cached, validated)."""
@@ -105,11 +127,18 @@ class DynamicGraph:
             raise ValueError("round numbers start at 0")
         if round_no not in self._cache:
             graph = self._provider(round_no)
-            if set(graph.nodes) != set(range(self.n)):
+            nodes = set(graph.nodes)
+            expected = set(range(self.n))
+            if nodes != expected:
                 raise TopologyError(
-                    f"round {round_no}: provider produced node set of size "
-                    f"{graph.number_of_nodes()}, expected 0..{self.n - 1}"
+                    f"round {round_no}: provider produced node set of "
+                    f"size {graph.number_of_nodes()}, expected "
+                    f"{{0..{self.n - 1}}} (unexpected labels "
+                    f"{sorted(nodes - expected)}, missing "
+                    f"{sorted(expected - nodes)})"
                 )
+            if self._copy_on_cache:
+                graph = graph.copy()
             self._cache[round_no] = graph
         return self._cache[round_no]
 

@@ -188,3 +188,103 @@ class TestCliObservability:
         assert serial == parallel
         assert serial["engine.rounds"] > 0
         assert serial["experiments.run"] == 2
+
+
+class TestSerialTimeoutWarning:
+    def test_hang_fault_in_serial_mode_prints_provenance(self, capsys):
+        code = main(
+            [
+                "run",
+                "tab-kernel-structure",
+                "--inject-fault",
+                "hang",
+                "--timeout",
+                "5",
+                "--retries",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeout 5s not enforced" in out
+        assert "in-process (serial)" in out
+
+
+class TestVerifyCommand:
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "verify",
+                "--fuzz",
+                "5",
+                "--seed",
+                "0",
+                "--fixtures-dir",
+                str(tmp_path / "fixtures"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suite model" in out
+        assert "suite kernel" in out
+        assert "suite backend" in out
+        assert "suite runtime" in out
+        assert "0 violations -- PASS" in out
+
+    def test_suite_selection(self, tmp_path, capsys):
+        code = main(
+            [
+                "verify",
+                "--fuzz",
+                "3",
+                "--suite",
+                "kernel",
+                "--fixtures-dir",
+                str(tmp_path / "fixtures"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suite kernel" in out
+        assert "suite model" not in out
+
+    def test_self_test_and_replay(self, tmp_path, capsys):
+        fixtures = tmp_path / "fixtures"
+        code = main(
+            [
+                "verify",
+                "--self-test",
+                "--fixtures-dir",
+                str(fixtures),
+            ]
+        )
+        assert code == 0
+        assert "self-test passed" in capsys.readouterr().out
+        # The self-test leaves shrunk fixtures behind; each must replay
+        # clean now that no mutant is armed.
+        fixture_files = sorted(fixtures.glob("*.json"))
+        assert fixture_files
+        code = main(["verify", "--replay", str(fixture_files[0])])
+        assert code == 0
+        assert "passes" in capsys.readouterr().out
+
+    def test_metrics_integration(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "verify",
+                "--fuzz",
+                "3",
+                "--suite",
+                "kernel",
+                "--fixtures-dir",
+                str(tmp_path / "fixtures"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["verify.cases"] == 3

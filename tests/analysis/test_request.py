@@ -89,6 +89,21 @@ class TestGoldenCacheKeys:
         for (experiment, items), digest in self.GOLDEN.items():
             assert ResultCache.key(experiment, dict(items)) == digest
 
+    def test_non_json_param_rejected_with_key_name(self):
+        # A plain object used to be hashed through repr() -- embedding
+        # its memory address, so cache identity changed every run.
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="'adversary'"):
+            ResultCache.key(
+                "tab-star-pd1", {"sizes": (2, 5), "adversary": Opaque()}
+            )
+
+    def test_non_json_error_names_experiment_and_type(self):
+        with pytest.raises(TypeError, match="tab-star-pd1.*set"):
+            ResultCache.key("tab-star-pd1", {"sizes": {2, 5}})
+
     def test_request_resolves_to_golden_keys(self):
         """Sweep-wide option fields produce the same params dict (and
         hence the same digest) the signature-sniffing path produced."""

@@ -398,3 +398,39 @@ class TestParallelMapCrash:
         ) as excinfo:
             parallel_map(_crash_on_three, range(6), jobs=2)
         assert "_crash_on_three" in str(excinfo.value)
+
+
+class TestSerialTimeoutVisibility:
+    """``timeout_s`` cannot preempt in-process attempts; say so loudly."""
+
+    def test_serial_hang_fault_retried_with_provenance_note(self):
+        outcome = run_sweep(
+            REQUESTS,
+            policy=RetryPolicy(
+                retries=1, timeout_s=5.0, backoff_s=0.001, jitter=0.0
+            ),
+            faults=FaultPlan(kind="hang", at=1),
+        )
+        assert outcome.passed
+        assert any("not enforced" in note for note in outcome.provenance)
+
+    def test_no_note_when_timeout_unset(self):
+        outcome = run_sweep(REQUESTS, policy=QUICK_RETRY)
+        assert outcome.passed
+        assert not any("not enforced" in note for note in outcome.provenance)
+
+    def test_degraded_serial_tail_also_notes_timeout(self):
+        # After graceful degradation the remaining tasks run in-process
+        # too, so the same budget-evaporates trace must appear.
+        outcome = run_sweep(
+            REQUESTS,
+            jobs=2,
+            policy=RetryPolicy(
+                retries=1, timeout_s=30.0, backoff_s=0.001, jitter=0.0
+            ),
+            faults=FaultPlan(kind="kill", at=0),
+            degrade_after=1,
+        )
+        assert outcome.passed
+        assert any("degraded to serial" in note for note in outcome.provenance)
+        assert any("not enforced" in note for note in outcome.provenance)

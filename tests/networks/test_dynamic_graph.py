@@ -32,6 +32,33 @@ class TestDynamicGraph:
         with pytest.raises(TopologyError, match="node set"):
             graph.at(0)
 
+    def test_wrong_labels_reported_even_when_size_matches(self):
+        # Three nodes, but labeled 10..12: the error must name the
+        # offending labels, not just report a (correct-looking) size.
+        shifted = nx.relabel_nodes(path(3), {0: 10, 1: 11, 2: 12})
+        graph = DynamicGraph(3, lambda r: shifted)
+        with pytest.raises(TopologyError, match=r"unexpected labels \[10, 11, 12\]"):
+            graph.at(0)
+
+    def test_missing_labels_reported(self):
+        graph = DynamicGraph(4, lambda r: path(3))
+        with pytest.raises(TopologyError, match=r"missing \[3\]"):
+            graph.at(0)
+
+    def test_copy_on_cache_shields_provider_mutation(self):
+        # A provider that keeps mutating the one graph object it hands
+        # out must not retroactively corrupt already-cached rounds.
+        live = path(3)
+        graph = DynamicGraph(3, lambda r: live)
+        before = set(graph.at(0).edges())
+        live.add_edge(0, 2)
+        assert set(graph.at(0).edges()) == before
+
+    def test_copy_on_cache_can_be_disabled(self):
+        live = path(3)
+        graph = DynamicGraph(3, lambda r: live, copy_on_cache=False)
+        assert graph.at(0) is live
+
     def test_negative_round_rejected(self):
         graph = DynamicGraph(3, lambda r: path(3))
         with pytest.raises(ValueError):
@@ -108,6 +135,15 @@ class TestFromGraphs:
         with pytest.raises(ModelError, match="static"):
             DynamicGraph.from_graphs([path(3), shifted])
 
+    def test_non_contiguous_labels_rejected_eagerly(self):
+        # A shared-but-wrong node set like {1, 2, 3} used to slip
+        # through construction and only explode at the first at() call;
+        # now from_graphs validates {0..n-1} up front and names the
+        # offending labels.
+        shifted = nx.relabel_nodes(path(3), {0: 1, 1: 2, 2: 3})
+        with pytest.raises(ModelError, match=r"unexpected labels \[3\]"):
+            DynamicGraph.from_graphs([shifted, shifted.copy()])
+
 
 class TestToCSR:
     def test_matches_graph(self):
@@ -141,3 +177,35 @@ class TestToCSR:
         loop.add_edge(1, 1)
         with pytest.raises(TopologyError, match="self-loop"):
             graph.to_csr(0)
+
+
+class TestExtendRulesOnBothBackends:
+    """Differential: hold/cycle identity-memoized lowering, both engines."""
+
+    @pytest.mark.parametrize("extend", ["hold", "cycle"])
+    def test_flood_times_agree(self, extend):
+        from repro.core.counting.flooding import flood_time_via_protocol
+
+        graphs = [path(5), nx.cycle_graph(5), nx.star_graph(4)]
+        times = {}
+        for backend in ("object", "fast"):
+            network = DynamicGraph.from_graphs(graphs, extend=extend)
+            times[backend] = flood_time_via_protocol(
+                network, 2, max_rounds=32, backend=backend
+            )
+        assert times["object"] == times["fast"]
+
+    @pytest.mark.parametrize("extend", ["hold", "cycle"])
+    def test_fast_backend_lowers_each_prefix_graph_once(self, extend):
+        from repro.core.counting.flooding import flood_time_via_protocol
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        graphs = [path(4), nx.cycle_graph(4)]
+        network = DynamicGraph.from_graphs(graphs, extend=extend)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            flood_time_via_protocol(
+                network, 0, max_rounds=32, backend="fast"
+            )
+        counters = registry.snapshot()["counters"]
+        assert counters["adjacency.builds"] <= len(graphs)

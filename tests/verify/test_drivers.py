@@ -1,0 +1,63 @@
+"""Tests for the differential drivers (backend and runtime suites)."""
+
+from __future__ import annotations
+
+from repro.verify.drivers import check_backend_case, check_runtime_case
+from repro.verify.strategies import Case, generate_cases
+
+
+class TestBackendDriver:
+    def test_generated_cases_pass(self):
+        for case in generate_cases("backend", 8, 0):
+            assert check_backend_case(case) == []
+
+    def test_each_protocol_covered(self):
+        kinds = {case.kind for case in generate_cases("backend", 30, 0)}
+        assert kinds == {"flood", "token-ids", "dissemination"}
+
+    def test_multi_lane_flood_agrees(self):
+        case = Case(
+            "backend",
+            "flood",
+            11,
+            {"family": "arbitrary", "n": 6, "lanes": 3},
+        )
+        assert check_backend_case(case) == []
+
+    def test_token_ids_on_t_interval_agrees(self):
+        case = Case(
+            "backend",
+            "token-ids",
+            3,
+            {"family": "t-interval", "n": 7, "lanes": 2},
+        )
+        assert check_backend_case(case) == []
+
+    def test_dissemination_on_markov_agrees(self):
+        case = Case(
+            "backend",
+            "dissemination",
+            5,
+            {"family": "markov", "n": 5, "lanes": 2},
+        )
+        assert check_backend_case(case) == []
+
+
+class TestRuntimeDriver:
+    def test_generated_case_passes(self):
+        case = generate_cases("runtime", 1, 0)[0]
+        assert check_runtime_case(case) == []
+
+    def test_explicit_workload_passes(self):
+        case = Case(
+            "runtime",
+            "sweep-equivalence",
+            0,
+            {
+                "workload": [
+                    ["tab-star-pd1", {"sizes": [2, 5]}],
+                    ["fig2-transformation", {}],
+                ]
+            },
+        )
+        assert check_runtime_case(case) == []
