@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke verify-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke bench-dynamic-smoke verify-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -48,6 +48,12 @@ bench:
 # sweep, asserting the speedup floor recorded in BENCH_engine.json.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick
+
+# Dynamic-topology regression gate: just the fresh-graph-per-round
+# workload (the CSR-native pipeline's raison d'etre), floor-checked in
+# quick mode.  Results land in benchmarks/results/engine-backend-only.*.
+bench-dynamic-smoke:
+	$(PYTHON) benchmarks/bench_engine.py --quick --only "fresh graph"
 
 # Property-based verification gate: fixed-seed fuzz over all four
 # suites, then the seeded-mutant self-test proving the harness detects,

@@ -22,6 +22,7 @@ from repro.core.lowerbound.bounds import ambiguity_horizon
 from repro.core.lowerbound.pairs import twin_configurations
 from repro.core.solver import feasible_size_interval
 from repro.core.states import ObservationSequence
+from repro.networks.csr_native import precompile_schedule
 from repro.networks.dynamic_graph import DynamicGraph
 from repro.networks.multigraph import DynamicMultigraph
 from repro.networks.transform import PD2Layout, mdbl_to_pd2
@@ -53,14 +54,34 @@ def max_ambiguity_multigraph(n: int, *, extend: str = "full") -> DynamicMultigra
     )
 
 
-def worst_case_pd2_network(n: int) -> tuple[DynamicGraph, PD2Layout]:
+def worst_case_pd2_network(
+    n: int, *, precompiled: bool = False
+) -> tuple[DynamicGraph, PD2Layout]:
     """The worst-case adversary lifted to a ``G(PD)_2`` dynamic graph.
 
     Applies the Lemma 1 transformation to
     :func:`max_ambiguity_multigraph`; the returned network has
     ``n + 3`` nodes (leader, two middle nodes, ``n`` outer nodes).
+
+    Args:
+        n: Network size the adversary is playing against.
+        precompiled: When true, the schedule's prefix is lowered once
+            into stacked CSR-native index arrays
+            (:func:`repro.networks.precompile_schedule`), so fast-backend
+            executions never build a ``networkx`` graph per round.  The
+            ``extend="full"`` tail is constant past the ambiguity
+            horizon, so holding the last prefix round is exact.
     """
-    return mdbl_to_pd2(max_ambiguity_multigraph(n))
+    multigraph = max_ambiguity_multigraph(n)
+    network, layout = mdbl_to_pd2(multigraph)
+    if precompiled:
+        network = precompile_schedule(
+            network,
+            multigraph.prefix_rounds + 1,
+            extend="hold",
+            name=f"{network.name}:precompiled",
+        )
+    return network, layout
 
 
 def measured_ambiguity_curve(

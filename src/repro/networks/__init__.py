@@ -6,6 +6,11 @@
 * :mod:`repro.networks.properties` -- verifiers for 1-interval
   connectivity, persistent distance (Definitions 3-4), and the dynamic
   diameter ``D`` measured by exhaustive flooding.
+* :mod:`repro.networks.csr_native` -- CSR-native dynamic topologies:
+  :class:`CSRDynamicGraph` serves both a ``networkx`` view (object
+  engine, oracles) and a direct CSR view (fast backend) from one set of
+  per-round edge arrays; :func:`precompile_schedule` compiles finite
+  schedules (worst-case instances) into stacked index arrays.
 * :mod:`repro.networks.multigraph` -- dynamic bipartite labeled
   multigraphs ``M(DBL)_k`` (Section 4.1).
 * :mod:`repro.networks.transform` -- the Lemma 1 transformation
@@ -15,6 +20,7 @@
   random fair-adversary dynamics.
 """
 
+from repro.networks.csr_native import CSRDynamicGraph, precompile_schedule
 from repro.networks.dynamic_graph import DynamicGraph
 from repro.networks.multigraph import DynamicMultigraph
 from repro.networks.properties import (
@@ -27,6 +33,7 @@ from repro.networks.properties import (
 from repro.networks.transform import PD2Layout, mdbl_to_pd2
 
 __all__ = [
+    "CSRDynamicGraph",
     "DynamicGraph",
     "DynamicMultigraph",
     "PD2Layout",
@@ -35,5 +42,6 @@ __all__ = [
     "is_interval_connected",
     "mdbl_to_pd2",
     "persistent_distances",
+    "precompile_schedule",
     "verify_pd",
 ]

@@ -15,6 +15,11 @@ This module owns that lowering:
 * :func:`lower_graph` -- ``nx.Graph`` -> :class:`CSRAdjacency` with the
   engine's model checks (node set ``{0..n-1}``, no self-loops,
   connectivity);
+* :func:`csr_from_edges` / :func:`graph_from_edges` -- the CSR-native
+  path: build a validated adjacency (or its ``networkx`` oracle view)
+  straight from ``(u, v)`` edge index arrays, with no ``nx.Graph`` on
+  the hot path -- the substrate of
+  :class:`repro.networks.csr_native.CSRDynamicGraph`;
 * :class:`AdjacencyCache` -- memoizes the lowering *per graph object*,
   so a :class:`~repro.networks.dynamic_graph.DynamicGraph` that serves
   the same cached graph under ``extend="hold"``/``"cycle"`` is lowered
@@ -22,11 +27,17 @@ This module owns that lowering:
 * :func:`stack_adjacencies` / :class:`StackCache` -- block-diagonal
   stacking of independent lanes, so a batch of runs (seeds x sizes of a
   sweep point) executes as one fused matvec per round.
+
+Both caches are *bounded* (LRU): a fresh-graph-per-round workload used
+to retain one lowered graph + CSR matrix per executed round for the
+cache's lifetime; evictions are observable through the
+``adjacency.cache_evictions`` / ``adjacency.stack_evictions`` counters.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections import OrderedDict
+from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -40,9 +51,22 @@ __all__ = [
     "CSRAdjacency",
     "AdjacencyCache",
     "StackCache",
+    "LRUCache",
+    "csr_from_edges",
+    "graph_from_edges",
     "lower_graph",
     "stack_adjacencies",
+    "validate_edge_arrays",
 ]
+
+#: Default LRU capacity of :class:`AdjacencyCache`.  Large enough that
+#: every realistic batch of held/cycled topologies stays fully cached,
+#: small enough that a fresh-graph-per-round run holds O(1) memory.
+DEFAULT_ADJACENCY_CACHE_SIZE = 128
+
+#: Default LRU capacity of :class:`StackCache`.  Lane combinations
+#: change at most once per round, so a handful of entries suffice.
+DEFAULT_STACK_CACHE_SIZE = 32
 
 
 class CSRAdjacency:
@@ -148,34 +172,176 @@ def lower_graph(graph: nx.Graph, *, n: int | None = None) -> CSRAdjacency:
     return CSRAdjacency(matrix, connected=bool(connected))
 
 
-class AdjacencyCache:
-    """Memoize :func:`lower_graph` per graph *object*.
+def validate_edge_arrays(
+    n: int, u: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate ``(u, v)`` edge index arrays against the engine's model.
 
-    Keys are object identities; the cache holds a strong reference to
-    each lowered graph so identities stay stable for the cache's
-    lifetime.  A provider that serves the same cached graph for many
-    rounds (``extend="hold"``, ``"cycle"``, any static topology) pays
-    for validation and lowering exactly once.
+    The array analogue of the checks :func:`lower_graph` performs on an
+    ``nx.Graph``: endpoints must lie in ``{0..n-1}`` and no edge may be
+    a self-loop.  Returns the arrays coerced to 1-D ``int64``.
+
+    Raises:
+        TopologyError: Endpoint out of range, self-loop, or shape
+            mismatch between the two arrays.
+    """
+    u = np.asarray(u, dtype=np.int64).reshape(-1)
+    v = np.asarray(v, dtype=np.int64).reshape(-1)
+    if u.shape != v.shape:
+        raise TopologyError(
+            f"edge arrays disagree in length ({u.size} vs {v.size})"
+        )
+    if u.size:
+        lo = min(int(u.min()), int(v.min()))
+        hi = max(int(u.max()), int(v.max()))
+        if lo < 0 or hi >= n:
+            raise TopologyError(
+                f"edge endpoint {lo if lo < 0 else hi} outside the "
+                f"process indices 0..{n - 1}"
+            )
+        loops = np.flatnonzero(u == v)
+        if loops.size:
+            where = sorted(set(u[loops][:10].tolist()))
+            raise TopologyError(
+                f"self-loop at node(s) {where}; a process is never its "
+                "own neighbour"
+            )
+    return u, v
+
+
+def csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> CSRAdjacency:
+    """Build a validated :class:`CSRAdjacency` straight from edge arrays.
+
+    The CSR-native fast path: no ``nx.Graph`` is constructed.  Edges
+    are undirected; duplicates (in either orientation) collapse to one
+    edge, matching ``nx.Graph`` semantics, so generators may emit a
+    mandatory backbone plus independently sampled extras without
+    deduplicating first.
+
+    Args:
+        n: Number of nodes (the matrix is ``n x n``).
+        u: Edge source indices (any integer array).
+        v: Edge target indices, same length as ``u``.
+
+    Raises:
+        TopologyError: Endpoint out of range or self-loop.
+    """
+    u, v = validate_edge_arrays(n, u, v)
+    # Canonicalize to (min, max) pairs, dedupe via the scalar pair key.
+    a = np.minimum(u, v)
+    b = np.maximum(u, v)
+    keys = np.unique(a * np.int64(n) + b)
+    a = keys // n
+    b = keys % n
+    rows = np.concatenate([a, b])
+    cols = np.concatenate([b, a])
+    matrix = sp.csr_array(
+        (np.ones(rows.size, dtype=np.float64), (rows, cols)), shape=(n, n)
+    )
+    if n <= 1:
+        connected = True
+    else:
+        connected = (
+            connected_components(matrix, directed=False, return_labels=False)
+            == 1
+        )
+    counter("adjacency.builds")
+    counter("adjacency.native_builds")
+    return CSRAdjacency(matrix, connected=bool(connected))
+
+
+def graph_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> nx.Graph:
+    """The ``networkx`` oracle view of the same ``(u, v)`` edge arrays.
+
+    Used by the object engine and the verification oracles; the fast
+    backend never calls this.  Runs the same validation as
+    :func:`csr_from_edges`, so the two views are built from identical
+    inputs through independent code paths.
+    """
+    u, v = validate_edge_arrays(n, u, v)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(zip(u.tolist(), v.tolist()))
+    return graph
+
+
+class LRUCache:
+    """A small bounded mapping with LRU eviction and an eviction counter.
+
+    The shared bounding mechanism of :class:`AdjacencyCache`,
+    :class:`StackCache`, and the per-round caches of
+    :class:`repro.networks.csr_native.CSRDynamicGraph`.  Every eviction
+    increments ``evict_metric`` so unbounded-growth regressions are
+    observable in any metrics snapshot.
+    """
+
+    def __init__(self, maxsize: int, evict_metric: str) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._evict_metric = evict_metric
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> object | None:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            counter(self._evict_metric)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class AdjacencyCache:
+    """Memoize :func:`lower_graph` per graph *object*, LRU-bounded.
+
+    Keys are object identities; each live entry holds a strong reference
+    to its lowered graph, so an id can never be reused while its entry
+    is still in the cache (the id-stability contract).  Once an entry is
+    *evicted* its graph may be collected and its id reused -- which is
+    safe: the entry is gone, so a reused id is a plain miss and the new
+    graph is lowered afresh (the ``cached[0] is graph`` guard keeps
+    same-slot overwrites honest).
+
+    A provider that serves the same cached graph for many rounds
+    (``extend="hold"``, ``"cycle"``, any static topology) pays for
+    validation and lowering exactly once; a fresh-graph-per-round run
+    now holds at most ``maxsize`` lowered rounds instead of all of them
+    (evictions are counted in ``adjacency.cache_evictions``).
 
     Mutating a graph after it has been lowered is unsupported (the
     memoized adjacency would go stale) -- the same contract the object
     engine's per-round validation memo has.
     """
 
-    def __init__(self) -> None:
-        self._by_id: dict[int, tuple[nx.Graph, CSRAdjacency]] = {}
+    def __init__(self, maxsize: int = DEFAULT_ADJACENCY_CACHE_SIZE) -> None:
+        self._lru = LRUCache(maxsize, "adjacency.cache_evictions")
 
     def __len__(self) -> int:
-        return len(self._by_id)
+        return len(self._lru)
+
+    def clear(self) -> None:
+        """Drop every entry (per-run scoping for long-lived caches)."""
+        self._lru.clear()
 
     def lower(self, graph: nx.Graph, *, n: int | None = None) -> CSRAdjacency:
         """The memoized CSR adjacency of ``graph``."""
-        cached = self._by_id.get(id(graph))
+        cached = self._lru.get(id(graph))
         if cached is not None and cached[0] is graph:
             counter("adjacency.cache_hits")
             return cached[1]
         adjacency = lower_graph(graph, n=n)
-        self._by_id[id(graph)] = (graph, adjacency)
+        self._lru.put(id(graph), (graph, adjacency))
         return adjacency
 
 
@@ -196,27 +362,43 @@ def stack_adjacencies(parts: Sequence[CSRAdjacency]) -> CSRAdjacency:
 
 
 class StackCache:
-    """Memoize :func:`stack_adjacencies` per tuple of part identities.
+    """Memoize :func:`stack_adjacencies` per tuple of part identities,
+    LRU-bounded.
 
     On static or ``hold``-extended dynamics every round stacks the same
     per-lane adjacencies, so the fused matrix is built once per distinct
-    combination instead of once per round.
+    combination instead of once per round; on dynamic workloads where
+    lane identities change every round, old ``(parts, stacked)`` tuples
+    are evicted instead of retained forever (counted in
+    ``adjacency.stack_evictions``).
     """
 
-    def __init__(self) -> None:
-        self._by_ids: dict[
-            tuple[int, ...], tuple[tuple[CSRAdjacency, ...], CSRAdjacency]
-        ] = {}
+    def __init__(self, maxsize: int = DEFAULT_STACK_CACHE_SIZE) -> None:
+        self._lru = LRUCache(maxsize, "adjacency.stack_evictions")
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        """Drop every entry (per-run scoping for long-lived caches)."""
+        self._lru.clear()
 
     def stack(self, parts: Iterable[CSRAdjacency]) -> CSRAdjacency:
         parts = tuple(parts)
         key = tuple(id(part) for part in parts)
-        cached = self._by_ids.get(key)
-        if cached is not None and all(
-            kept is part for kept, part in zip(cached[0], parts)
-        ):
-            counter("adjacency.stack_hits")
-            return cached[1]
+        cached = self._lru.get(key)
+        if cached is not None:
+            kept, stacked = cached
+            # A hit's key is an id-tuple equal to ours, so the lengths
+            # must match by construction; a changed-length lane list can
+            # therefore never masquerade as an id-reuse collision.
+            assert len(kept) == len(parts), (
+                f"stack cache key of length {len(parts)} hit an entry "
+                f"with {len(kept)} parts"
+            )
+            if all(a is b for a, b in zip(kept, parts)):
+                counter("adjacency.stack_hits")
+                return stacked
         stacked = stack_adjacencies(parts)
-        self._by_ids[key] = (parts, stacked)
+        self._lru.put(key, (parts, stacked))
         return stacked

@@ -1,0 +1,287 @@
+"""CSR-native dynamic topologies: edge arrays first, objects at the edges.
+
+The fast backend used to pay a networkx -> CSR *lowering tax* on every
+round of a dynamic workload: generators built an ``nx.Graph`` per round
+and :func:`repro.networks.csr.lower_graph` immediately tore it apart
+again.  On fresh-graph-per-round workloads that tax ate the entire
+vectorized-engine win (``BENCH_engine.json`` showed ~0.5-1.0x where
+static graphs reach 5-50x).
+
+This module inverts the representation, following the matrix-first
+design of connectivity models in network simulators: a dynamic topology
+is a function ``round -> (u, v)`` *edge index arrays*, and both views
+are derived from those arrays --
+
+* the CSR adjacency (:func:`repro.networks.csr.csr_from_edges`) feeds
+  the fast backend directly, no ``nx.Graph`` per round;
+* the ``networkx`` view (:func:`repro.networks.csr.graph_from_edges`)
+  feeds the object engine and the verification oracles.
+
+Because the two views are built from identical arrays through
+independent code paths, ``object == fast`` differential testing keeps
+its teeth, and :mod:`repro.verify` checks the equivalence as a model
+oracle (CSR-native lowering == networkx adjacency, every family).
+
+Pieces:
+
+* :class:`CSRDynamicGraph` -- a :class:`~repro.networks.DynamicGraph`
+  built from an edge provider; ``to_csr`` never touches networkx, and
+  its per-round caches are LRU-bounded so fresh-graph-per-round runs
+  hold O(1) adjacency memory.
+* :func:`precompile_schedule` -- lower a finite schedule prefix (e.g. a
+  worst-case adversary instance) once into stacked per-round index
+  arrays; every subsequent ``to_csr`` is an O(1) lookup.
+
+Edge providers must be *pure per round* (the same round always yields
+the same edges), the convention every built-in family already follows;
+purity is what makes bounded caching safe -- an evicted round can
+simply be recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+import numpy as np
+
+from repro.networks.csr import (
+    CSRAdjacency,
+    LRUCache,
+    csr_from_edges,
+    graph_from_edges,
+    validate_edge_arrays,
+)
+from repro.networks.dynamic_graph import DynamicGraph
+from repro.obs.metrics import counter
+from repro.simulation.errors import TopologyError
+
+__all__ = [
+    "CSRDynamicGraph",
+    "EdgeArrays",
+    "EdgeProvider",
+    "precompile_schedule",
+]
+
+EdgeArrays = tuple[np.ndarray, np.ndarray]
+"""Type alias: a ``(u, v)`` pair of edge index arrays."""
+
+EdgeProvider = Callable[[int], tuple[np.ndarray, np.ndarray]]
+"""An edge-array provider: ``round_no -> (u, v)`` index arrays."""
+
+#: Default LRU capacity of the per-round edge/CSR caches.  Must cover
+#: at least the working set of one batched execution (all lanes touch
+#: the same round number before moving on), which one entry already
+#: does; the slack keeps short hold/cycle prefixes fully resident.
+DEFAULT_ROUND_CACHE_SIZE = 64
+
+
+class CSRDynamicGraph(DynamicGraph):
+    """A dynamic graph whose source of truth is per-round edge arrays.
+
+    Drop-in :class:`~repro.networks.DynamicGraph`: the object engine
+    uses the ``graph``/``at`` view (networkx graphs built lazily from
+    the arrays), the fast backend uses ``to_csr`` (validated CSR built
+    directly from the arrays, no ``nx.Graph`` on the hot path).
+
+    Args:
+        n: Number of nodes; every edge endpoint must lie in ``{0..n-1}``.
+        edge_provider: Pure function ``round -> (u, v)`` edge arrays.
+            Isolated nodes need no mention -- the node set is always
+            exactly ``{0..n-1}``.
+        name: Human-readable description (used in reports).
+        round_key: Optional canonicalisation of round numbers before the
+            provider and the caches see them -- ``hold``/``cycle``
+            extension rules compress an infinite round axis onto a
+            finite prefix, so repeated rounds share one cache entry
+            (and, for the object view, one graph object, which keeps the
+            engines' per-object validation memos effective).
+        cache_rounds: LRU capacity of the per-round edge and CSR caches
+            (evictions are counted in ``adjacency.cache_evictions``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edge_provider: EdgeProvider,
+        *,
+        name: str = "csr-dynamic-graph",
+        round_key: Callable[[int], int] | None = None,
+        cache_rounds: int = DEFAULT_ROUND_CACHE_SIZE,
+    ) -> None:
+        super().__init__(
+            n, self._nx_provider, name=name, copy_on_cache=False
+        )
+        self._edge_provider = edge_provider
+        self._round_key = round_key
+        self._edge_lru = LRUCache(cache_rounds, "adjacency.cache_evictions")
+        self._csr_lru = LRUCache(cache_rounds, "adjacency.cache_evictions")
+        self._nx_lru = LRUCache(cache_rounds, "adjacency.cache_evictions")
+
+    def cache_sizes(self) -> dict[str, int]:
+        """Resident entries per internal cache (diagnostics, leak tests)."""
+        return {
+            "edges": len(self._edge_lru),
+            "csr": len(self._csr_lru),
+            "graphs": len(self._nx_lru),
+        }
+
+    # -- round canonicalisation ---------------------------------------
+
+    def _key(self, round_no: int) -> int:
+        if round_no < 0:
+            raise ValueError("round numbers start at 0")
+        if self._round_key is None:
+            return round_no
+        return self._round_key(round_no)
+
+    # -- the edge-array view ------------------------------------------
+
+    def edges(self, round_no: int) -> tuple[np.ndarray, np.ndarray]:
+        """The round's validated ``(u, v)`` edge arrays (cached, LRU)."""
+        key = self._key(round_no)
+        cached = self._edge_lru.get(key)
+        if cached is None:
+            u, v = self._edge_provider(key)
+            cached = validate_edge_arrays(self.n, u, v)
+            self._edge_lru.put(key, cached)
+        return cached
+
+    # -- the CSR view (fast backend) ----------------------------------
+
+    def to_csr(self, round_no: int) -> CSRAdjacency:
+        """The round's CSR adjacency, built directly from edge arrays.
+
+        Never constructs an ``nx.Graph``; validation (index range,
+        self-loops, connectivity) runs on the arrays.  Memoized per
+        canonical round in a bounded LRU, so held/cycled rounds lower
+        once while fresh-per-round runs stay O(1) in memory.
+        """
+        key = self._key(round_no)
+        cached = self._csr_lru.get(key)
+        if cached is None:
+            u, v = self.edges(round_no)
+            cached = csr_from_edges(self.n, u, v)
+            self._csr_lru.put(key, cached)
+        else:
+            counter("adjacency.cache_hits")
+        return cached
+
+    # -- the networkx view (object engine, oracles) -------------------
+
+    def _nx_provider(self, round_no: int) -> nx.Graph:
+        u, v = self.edges(round_no)
+        return graph_from_edges(self.n, u, v)
+
+    def at(self, round_no: int) -> nx.Graph:
+        """The round's graph as ``networkx`` (cached per canonical round).
+
+        Rounds that canonicalise to the same key (``hold``/``cycle``
+        extensions) share one graph *object* while resident, so the
+        engines' identity-keyed validation memos fire exactly as they do
+        for :meth:`DynamicGraph.from_graphs` prefixes.  Unlike the base
+        class, the cache is LRU-bounded: the edge provider is pure per
+        round, so an evicted round rebuilds bit-identically and long
+        fresh-graph-per-round runs hold O(1) graph memory on the object
+        path too.
+        """
+        key = self._key(round_no)
+        cached = self._nx_lru.get(key)
+        if cached is None:
+            cached = self._nx_provider(round_no)
+            self._nx_lru.put(key, cached)
+        return cached
+
+
+def precompile_schedule(
+    source: DynamicGraph,
+    rounds: int,
+    *,
+    extend: str = "hold",
+    name: str | None = None,
+) -> CSRDynamicGraph:
+    """Precompile a schedule prefix into stacked per-round index arrays.
+
+    For schedule-driven instances -- above all the worst-case adversary,
+    whose entire point is a fixed finite schedule realising the
+    ``Omega(log n)`` bound -- the prefix is lowered *once*, eagerly, into
+    one pair of stacked ``(u, v)`` arrays plus per-round offsets; every
+    later ``to_csr`` call is an O(1) lookup, every later ``at`` call
+    reuses one graph object per prefix round.
+
+    Args:
+        source: The dynamic graph to compile.  Its first ``rounds``
+            rounds are read through ``edges()`` when available (CSR
+            native sources) and through ``at()`` otherwise.
+        rounds: Prefix length to compile (must be >= 1).
+        extend: What happens past the prefix: ``"hold"`` repeats the
+            last compiled round, ``"cycle"`` wraps to round 0,
+            ``"strict"`` raises :class:`TopologyError`.
+        name: Optional description; defaults to the source's name with
+            a ``:precompiled`` suffix.
+
+    Returns:
+        A :class:`CSRDynamicGraph` over the same node set, serving the
+        compiled prefix under the chosen extension rule.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round to precompile")
+    if extend not in ("hold", "cycle", "strict"):
+        raise ValueError("extend must be one of ('hold', 'cycle', 'strict')")
+    n = source.n
+    per_round: list[tuple[np.ndarray, np.ndarray]] = []
+    native_edges = getattr(source, "edges", None)
+    for round_no in range(rounds):
+        if native_edges is not None:
+            u, v = native_edges(round_no)
+        else:
+            pairs = np.array(
+                source.at(round_no).edges, dtype=np.int64
+            ).reshape(-1, 2)
+            u, v = pairs[:, 0], pairs[:, 1]
+        per_round.append(validate_edge_arrays(n, u, v))
+
+    # One stacked edge store: contiguous (u, v) arrays sliced per round.
+    offsets = np.concatenate(
+        ([0], np.cumsum([u.size for u, _ in per_round]))
+    ).astype(np.int64)
+    u_all = (
+        np.concatenate([u for u, _ in per_round])
+        if offsets[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+    v_all = (
+        np.concatenate([v for _, v in per_round])
+        if offsets[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+
+    def round_key(round_no: int) -> int:
+        if round_no < rounds:
+            return round_no
+        if extend == "hold":
+            return rounds - 1
+        if extend == "cycle":
+            return round_no % rounds
+        raise TopologyError(
+            f"round {round_no} requested but only rounds 0..{rounds - 1} "
+            "are precompiled (extend='strict')"
+        )
+
+    def provider(key: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = int(offsets[key]), int(offsets[key + 1])
+        return u_all[lo:hi], v_all[lo:hi]
+
+    compiled = CSRDynamicGraph(
+        n,
+        provider,
+        name=name if name is not None else f"{source.name}:precompiled",
+        round_key=round_key,
+        cache_rounds=max(rounds, DEFAULT_ROUND_CACHE_SIZE),
+    )
+    # Eager lowering: the whole prefix is validated and CSR-built here,
+    # so the simulation loop never pays construction or validation.
+    for round_no in range(rounds):
+        compiled.to_csr(round_no)
+    counter("adjacency.precompiled_schedules")
+    return compiled

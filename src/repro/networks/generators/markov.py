@@ -9,14 +9,23 @@ paper's model requires.  Unlike the memoryless
 :class:`repro.networks.generators.random_dynamic.RandomConnectedAdversary`,
 consecutive rounds are correlated, which is the regime where gossip
 baselines are usually studied.
+
+CSR-native: the chain state is one boolean vector over the ``n(n-1)/2``
+node pairs, advanced with vectorized draws and stored bit-packed
+(``np.packbits``: one byte per eight pairs per round), and rounds are
+served as ``(u, v)`` edge arrays.  Repair edges join the chain state, so
+-- as before -- a repaired edge persists with probability ``1 - p_down``.
 """
 
 from __future__ import annotations
 
 import networkx as nx
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
 
-from repro.networks.dynamic_graph import DynamicGraph
+from repro.networks.csr import graph_from_edges
+from repro.networks.csr_native import CSRDynamicGraph
 
 __all__ = ["EdgeMarkovDynamicGraph", "edge_markov_network"]
 
@@ -24,9 +33,9 @@ __all__ = ["EdgeMarkovDynamicGraph", "edge_markov_network"]
 class EdgeMarkovDynamicGraph:
     """Lazy, seeded edge-Markov evolution over ``{0..n-1}``.
 
-    Rounds are built sequentially and cached, so access through the
-    :class:`repro.networks.DynamicGraph` wrapper is deterministic and
-    repeatable for a given seed.
+    Rounds are built sequentially and cached as bit-packed pair-state
+    vectors, so access through the :class:`repro.networks.DynamicGraph`
+    wrapper is deterministic and repeatable for a given seed.
     """
 
     def __init__(
@@ -52,46 +61,74 @@ class EdgeMarkovDynamicGraph:
         self.p_down = p_down
         self.initial_p = initial_p
         self.seed = seed
-        self._rounds: list[nx.Graph] = []
+        pair_u, pair_v = np.triu_indices(n, 1)
+        self._pair_u = pair_u.astype(np.int64)
+        self._pair_v = pair_v.astype(np.int64)
+        self._states: list[np.ndarray] = []  # packbits per round
 
-    def _pairs(self):
-        for u in range(self.n):
-            for v in range(u + 1, self.n):
-                yield u, v
+    def _pair_index(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        # Row-major triu position of pair (u, v) with u < v.
+        n = np.int64(self.n)
+        return u * n - u * (u + 1) // 2 + (v - u - 1)
 
-    def _repair_connectivity(self, graph: nx.Graph, rng) -> None:
-        components = [sorted(c) for c in nx.connected_components(graph)]
-        while len(components) > 1:
-            a = components.pop(int(rng.integers(len(components))))
-            b = components[int(rng.integers(len(components)))]
-            graph.add_edge(
-                a[int(rng.integers(len(a)))], b[int(rng.integers(len(b)))]
-            )
-            components = [sorted(c) for c in nx.connected_components(graph)]
+    def _repair_connectivity(
+        self, present: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Chain-connect the components with random edges (in place)."""
+        n = self.n
+        u, v = self._pair_u[present], self._pair_v[present]
+        adjacency = sp.coo_array(
+            (np.ones(u.size, dtype=np.int8), (u, v)), shape=(n, n)
+        )
+        count, labels = connected_components(
+            adjacency, directed=False, return_labels=True
+        )
+        if count <= 1:
+            return
+        # One random representative per component (first hit in a random
+        # node order), components chained in random order: count-1 new
+        # edges, connectivity guaranteed.
+        order = rng.permutation(n)
+        _, first_positions = np.unique(labels[order], return_index=True)
+        representatives = order[first_positions]
+        chain = representatives[rng.permutation(count)]
+        a = np.minimum(chain[:-1], chain[1:])
+        b = np.maximum(chain[:-1], chain[1:])
+        present[self._pair_index(a, b)] = True
 
-    def _build_round(self, round_no: int) -> nx.Graph:
+    def _build_round(self, round_no: int) -> np.ndarray:
         rng = np.random.default_rng([self.seed, round_no])
-        graph = nx.Graph()
-        graph.add_nodes_from(range(self.n))
+        m = self._pair_u.size
         if round_no == 0:
-            for u, v in self._pairs():
-                if rng.random() < self.initial_p:
-                    graph.add_edge(u, v)
+            present = rng.random(m) < self.initial_p
         else:
-            previous = self._rounds[round_no - 1]
-            for u, v in self._pairs():
-                if previous.has_edge(u, v):
-                    if rng.random() >= self.p_down:
-                        graph.add_edge(u, v)
-                elif rng.random() < self.p_up:
-                    graph.add_edge(u, v)
-        self._repair_connectivity(graph, rng)
-        return graph
+            previous = (
+                np.unpackbits(self._states[round_no - 1], count=m)
+                .astype(bool)
+            )
+            draws = rng.random(m)
+            present = np.where(
+                previous, draws >= self.p_down, draws < self.p_up
+            )
+        self._repair_connectivity(present, rng)
+        return np.packbits(present)
+
+    def _present(self, round_no: int) -> np.ndarray:
+        while len(self._states) <= round_no:
+            self._states.append(self._build_round(len(self._states)))
+        return (
+            np.unpackbits(self._states[round_no], count=self._pair_u.size)
+            .astype(bool)
+        )
+
+    def edges(self, round_no: int) -> tuple[np.ndarray, np.ndarray]:
+        """The round's ``(u, v)`` edge arrays (chain advanced on demand)."""
+        present = self._present(round_no)
+        return self._pair_u[present], self._pair_v[present]
 
     def at(self, round_no: int) -> nx.Graph:
-        while len(self._rounds) <= round_no:
-            self._rounds.append(self._build_round(len(self._rounds)))
-        return self._rounds[round_no]
+        """The round's graph as ``networkx``."""
+        return graph_from_edges(self.n, *self.edges(round_no))
 
 
 def edge_markov_network(
@@ -101,11 +138,11 @@ def edge_markov_network(
     p_down: float = 0.3,
     initial_p: float = 0.2,
     seed: int = 0,
-) -> DynamicGraph:
-    """An edge-Markov dynamic graph as a :class:`DynamicGraph`."""
+) -> CSRDynamicGraph:
+    """An edge-Markov dynamic graph as a CSR-native :class:`DynamicGraph`."""
     chain = EdgeMarkovDynamicGraph(
         n, p_up=p_up, p_down=p_down, initial_p=initial_p, seed=seed
     )
-    return DynamicGraph(
-        n, chain.at, name=f"edge-markov(n={n}, seed={seed})"
+    return CSRDynamicGraph(
+        n, chain.edges, name=f"edge-markov(n={n}, seed={seed})"
     )

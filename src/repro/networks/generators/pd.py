@@ -12,15 +12,17 @@ The generator below rewires the graph randomly every round under exactly
 those constraints, which makes it a *fair* adversary over the ``G(PD)_h``
 family.  Rounds are sampled from a per-round seed derived from the
 master seed, so the produced dynamic graph is a pure function of
-``(seed, round)`` and runs are reproducible.
+``(seed, round)`` and runs are reproducible.  Rounds are emitted
+CSR-natively as ``(u, v)`` edge arrays: mandatory parent edges are one
+vectorized draw per layer, optional inter/intra-layer extras one
+Bernoulli mask over the precomputed pair template.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
 
-from repro.networks.dynamic_graph import DynamicGraph
+from repro.networks.csr_native import CSRDynamicGraph
 
 __all__ = ["random_pd_network"]
 
@@ -32,8 +34,8 @@ def random_pd_network(
     extra_edge_p: float = 0.2,
     intra_layer_p: float = 0.0,
     name: str | None = None,
-) -> tuple[DynamicGraph, list[list[int]]]:
-    """Generate a random ``G(PD)_h`` dynamic graph.
+) -> tuple[CSRDynamicGraph, list[list[int]]]:
+    """Generate a random ``G(PD)_h`` dynamic graph (CSR-native).
 
     Args:
         layer_sizes: Sizes of layers ``V_1..V_h`` (``h = len(layer_sizes)``);
@@ -65,27 +67,55 @@ def random_pd_network(
         next_index += size
     n = next_index
 
-    def provider(round_no: int) -> nx.Graph:
+    layer_arrays = [np.array(layer, dtype=np.int64) for layer in layers]
+
+    # Pair templates are fixed by the layer structure, so precompute the
+    # candidate (node, parent) and intra-layer (node, node) index arrays
+    # once; per round only the Bernoulli masks are redrawn.
+    cross_u: list[np.ndarray] = []
+    cross_v: list[np.ndarray] = []
+    intra_u: list[np.ndarray] = []
+    intra_v: list[np.ndarray] = []
+    for depth in range(1, len(layer_arrays)):
+        above, current = layer_arrays[depth - 1], layer_arrays[depth]
+        if extra_edge_p > 0.0:
+            grid_node, grid_parent = np.meshgrid(current, above, indexing="ij")
+            cross_u.append(grid_node.ravel())
+            cross_v.append(grid_parent.ravel())
+        if intra_layer_p > 0.0 and current.size > 1:
+            pair_i, pair_j = np.triu_indices(current.size, 1)
+            intra_u.append(current[pair_i])
+            intra_v.append(current[pair_j])
+    cross_pairs = (
+        (np.concatenate(cross_u), np.concatenate(cross_v))
+        if cross_u
+        else (np.empty(0, dtype=np.int64),) * 2
+    )
+    intra_pairs = (
+        (np.concatenate(intra_u), np.concatenate(intra_v))
+        if intra_u
+        else (np.empty(0, dtype=np.int64),) * 2
+    )
+
+    def provider(round_no: int) -> tuple[np.ndarray, np.ndarray]:
         rng = np.random.default_rng([seed, round_no])
-        graph = nx.Graph()
-        graph.add_nodes_from(range(n))
-        for depth in range(1, len(layers)):
-            above = layers[depth - 1]
-            current = layers[depth]
-            for node in current:
-                # Mandatory edge keeping the persistent distance exact.
-                graph.add_edge(node, above[int(rng.integers(len(above)))])
-            if extra_edge_p > 0.0:
-                for node in current:
-                    for parent in above:
-                        if rng.random() < extra_edge_p:
-                            graph.add_edge(node, parent)
-            if intra_layer_p > 0.0:
-                for i, node in enumerate(current):
-                    for other in current[i + 1 :]:
-                        if rng.random() < intra_layer_p:
-                            graph.add_edge(node, other)
-        return graph
+        parts_u: list[np.ndarray] = []
+        parts_v: list[np.ndarray] = []
+        for depth in range(1, len(layer_arrays)):
+            above, current = layer_arrays[depth - 1], layer_arrays[depth]
+            # Mandatory edge keeping the persistent distance exact.
+            parents = above[rng.integers(above.size, size=current.size)]
+            parts_u.append(current)
+            parts_v.append(parents)
+        if cross_pairs[0].size:
+            mask = rng.random(cross_pairs[0].size) < extra_edge_p
+            parts_u.append(cross_pairs[0][mask])
+            parts_v.append(cross_pairs[1][mask])
+        if intra_pairs[0].size:
+            mask = rng.random(intra_pairs[0].size) < intra_layer_p
+            parts_u.append(intra_pairs[0][mask])
+            parts_v.append(intra_pairs[1][mask])
+        return np.concatenate(parts_u), np.concatenate(parts_v)
 
     label = name if name is not None else f"pd{len(layer_sizes)}({layer_sizes})"
-    return DynamicGraph(n, provider, name=label), layers
+    return CSRDynamicGraph(n, provider, name=label), layers

@@ -9,7 +9,14 @@ path that compiles a round into array operations.
 * Topologies are lowered once to CSR adjacency
   (:mod:`repro.networks.csr`), with the model checks (node set,
   self-loops, connectivity) memoized per graph object instead of
-  recomputed every round.
+  recomputed every round.  CSR-native topologies
+  (:class:`~repro.networks.CSRDynamicGraph` and anything exposing
+  ``to_csr(round_no)``) skip the networkx lowering entirely: the lane
+  adjacency comes straight from per-round edge arrays.  The per-lane
+  adjacency caches and the lane-stack cache are LRU-bounded
+  (``adjacency.cache_evictions`` / ``adjacency.stack_evictions``), so
+  fresh-graph-per-round workloads hold O(1) adjacency memory instead of
+  leaking one lowered graph per round.
 * Protocols whose per-round receive phase is an aggregation over the
   multiset of received values implement :class:`VectorizedProtocol`:
   state lives in NumPy arrays over a flat node axis and one ``step``

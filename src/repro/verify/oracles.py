@@ -12,9 +12,13 @@ Two suites live here:
 * **model** (:func:`check_model_case`) -- structural invariants every
   generated :class:`~repro.networks.DynamicGraph` must satisfy: the
   node set is ``{0..n-1}`` in every round, no round graph has a
-  self-loop, every round is connected (1-interval connectivity), and
-  the ``to_csr`` lowering agrees entry-by-entry with the networkx
-  adjacency matrix.  Family-specific contracts ride along: ``G(PD)_h``
+  self-loop, every round is connected (1-interval connectivity), the
+  ``to_csr`` lowering agrees entry-by-entry with the networkx
+  adjacency matrix, and -- for CSR-native families, where ``to_csr``
+  is built directly from edge arrays without touching networkx -- the
+  native CSR view agrees with the networkx view built from the same
+  arrays (the two independent code paths must coincide).
+  Family-specific contracts ride along: ``G(PD)_h``
   instances keep persistent distances ``<= h``
   (:func:`~repro.networks.properties.verify_pd`) and ``T``-interval
   instances pass :func:`~repro.networks.properties.is_t_interval_connected`.
@@ -105,6 +109,7 @@ def check_model_case(case: Case) -> list[str]:
             )
             continue
         violations.extend(_check_lowering(graph, n, label))
+        violations.extend(_check_native_csr(network, round_no, graph, n, label))
 
     if violations:
         return violations
@@ -133,6 +138,40 @@ def _check_lowering(graph: nx.Graph, n: int, label: str) -> list[str]:
     expected_degrees = reference.sum(axis=1)
     if not np.array_equal(adjacency.degrees, expected_degrees):
         violations.append(f"{label}: CSR degree vector disagrees")
+    return violations
+
+
+def _check_native_csr(
+    network, round_no: int, graph: nx.Graph, n: int, label: str
+) -> list[str]:
+    """``network.to_csr`` must equal the round's networkx view.
+
+    For CSR-native families (:class:`~repro.networks.CSRDynamicGraph`)
+    the CSR adjacency is built straight from the edge arrays while the
+    graph handed in came through ``at()`` -- two independent lowerings
+    of the same arrays; for plain providers ``to_csr`` goes through
+    :func:`~repro.networks.csr.lower_graph` and the check still pins the
+    cache path.  Only runs once the round graph itself passed the
+    structural checks, so a mutated (corrupted) graph never reaches it.
+    """
+    violations: list[str] = []
+    adjacency = network.to_csr(round_no)
+    dense = adjacency.matrix.toarray()
+    reference = nx.to_numpy_array(graph, nodelist=range(n))
+    if not np.array_equal(dense, reference):
+        rows, cols = np.nonzero(dense != reference)
+        where = sorted(zip(rows.tolist(), cols.tolist()))[:5]
+        violations.append(
+            f"{label}: native CSR view disagrees with the networkx view "
+            f"at entries {where}"
+        )
+    if adjacency.connected != nx.is_connected(graph):
+        violations.append(
+            f"{label}: native CSR connectivity flag {adjacency.connected} "
+            f"but networkx says {nx.is_connected(graph)}"
+        )
+    if not np.array_equal(adjacency.degrees, reference.sum(axis=1)):
+        violations.append(f"{label}: native CSR degree vector disagrees")
     return violations
 
 

@@ -33,12 +33,16 @@ from typing import Any, Callable, Iterator, Mapping
 import networkx as nx
 import numpy as np
 
+from repro.networks.csr_native import CSRDynamicGraph, precompile_schedule
 from repro.networks.dynamic_graph import DynamicGraph
 from repro.networks.generators import (
     edge_markov_network,
-    random_connected_graph,
     random_pd_network,
     t_interval_network,
+)
+from repro.networks.generators.random_dynamic import (
+    random_connected_edges,
+    random_connected_graph,
 )
 
 __all__ = [
@@ -59,12 +63,13 @@ MODEL_KINDS = (
     "t-interval",
     "markov",
     "arbitrary",
+    "precompiled",
     "explicit-hold",
     "explicit-cycle",
 )
 """Dynamic-network families the model suite draws from."""
 
-_BACKEND_FAMILIES = ("arbitrary", "markov", "t-interval")
+_BACKEND_FAMILIES = ("arbitrary", "markov", "t-interval", "precompiled")
 _BACKEND_PROTOCOLS = ("flood", "token-ids", "dissemination")
 
 #: Cheap experiments the runtime suite composes into sweep workloads,
@@ -179,6 +184,14 @@ def _model_case(rng: random.Random) -> Case:
             "rounds": rounds,
             "extra_edge_p": rng.choice([0.0, 0.1, 0.5]),
         }
+    elif kind == "precompiled":
+        params = {
+            "n": rng.randint(1, 10),
+            "prefix": rng.randint(1, 4),
+            "rounds": rounds,
+            "extend": rng.choice(["hold", "cycle"]),
+            "extra_edge_p": rng.choice([0.0, 0.2]),
+        }
     else:  # explicit-hold / explicit-cycle
         params = {
             "n": rng.randint(1, 8),
@@ -250,6 +263,20 @@ def generate_cases(suite: str, count: int, master_seed: int) -> list[Case]:
 # -- builders ---------------------------------------------------------
 
 
+def _arbitrary_network(
+    n: int, seed: int, extra_edge_p: float
+) -> CSRDynamicGraph:
+    """A CSR-native memoryless random family keyed by ``(seed, round)``."""
+
+    def provider(round_no: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng([seed, round_no])
+        return random_connected_edges(n, rng, extra_edge_p=extra_edge_p)
+
+    return CSRDynamicGraph(
+        n, provider, name=f"verify-arbitrary(n={n}, seed={seed})"
+    )
+
+
 def _explicit_prefix(
     n: int, prefix: int, seed: int, extra_edge_p: float
 ) -> list[nx.Graph]:
@@ -296,16 +323,18 @@ def build_network(case: Case) -> DynamicGraph:
             initial_p=params.get("initial_p", 0.2),
         )
     if kind == "arbitrary":
-        n = params["n"]
-
-        def provider(round_no: int) -> nx.Graph:
-            rng = np.random.default_rng([seed, round_no])
-            return random_connected_graph(
-                n, rng, extra_edge_p=params.get("extra_edge_p", 0.1)
-            )
-
-        return DynamicGraph(
-            n, provider, name=f"verify-arbitrary(n={n}, seed={seed})"
+        return _arbitrary_network(
+            params["n"], seed, params.get("extra_edge_p", 0.1)
+        )
+    if kind == "precompiled":
+        source = _arbitrary_network(
+            params["n"], seed, params.get("extra_edge_p", 0.1)
+        )
+        return precompile_schedule(
+            source,
+            params.get("prefix", 2),
+            extend=params.get("extend", "hold"),
+            name=f"verify-precompiled(n={params['n']}, seed={seed})",
         )
     if kind in ("explicit-hold", "explicit-cycle"):
         graphs = _explicit_prefix(

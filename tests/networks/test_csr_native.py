@@ -1,0 +1,253 @@
+"""Tests for CSR-native dynamic topologies (repro.networks.csr_native).
+
+Covers the edge-array provider protocol (:class:`CSRDynamicGraph`),
+precompiled schedules, the CSR view == networkx view equivalence for
+every CSR-native family, object == fast differential runs on top of
+them, and the bounded-memory contract for long fresh-graph-per-round
+simulations.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adversaries.worst_case import worst_case_pd2_network
+from repro.core.counting.flooding import flood_time_via_protocol
+from repro.core.counting.gossip import gossip_size_estimates
+from repro.networks import CSRDynamicGraph, precompile_schedule
+from repro.networks.csr_native import DEFAULT_ROUND_CACHE_SIZE
+from repro.networks.generators.markov import edge_markov_network
+from repro.networks.generators.pd import random_pd_network
+from repro.networks.generators.random_dynamic import (
+    RandomConnectedAdversary,
+    random_connected_edges,
+)
+from repro.networks.generators.t_interval import t_interval_network
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.simulation.errors import TopologyError
+
+
+def ring_provider(n):
+    def provider(round_no):
+        u = np.arange(n, dtype=np.int64)
+        return u, (u + 1) % n
+
+    return provider
+
+
+def family_networks(seed=5):
+    """One instance per CSR-native family, labelled for test ids."""
+    return {
+        "arbitrary": RandomConnectedAdversary(
+            11, seed=seed
+        ).as_dynamic_graph(),
+        "t-interval": t_interval_network(10, 3, seed=seed),
+        "markov": edge_markov_network(12, seed=seed),
+        "pd": random_pd_network(
+            [3, 4, 2], seed=seed, extra_edge_p=0.3, intra_layer_p=0.2
+        )[0],
+        "worst-case-precompiled": worst_case_pd2_network(
+            6, precompiled=True
+        )[0],
+    }
+
+
+class TestCSRDynamicGraph:
+    def test_csr_matches_networkx_view(self):
+        network = CSRDynamicGraph(5, ring_provider(5))
+        for round_no in range(3):
+            dense = network.to_csr(round_no).matrix.toarray()
+            reference = nx.to_numpy_array(
+                network.at(round_no), nodelist=range(5)
+            )
+            assert np.array_equal(dense, reference)
+
+    def test_edges_and_csr_are_memoized(self):
+        network = CSRDynamicGraph(6, ring_provider(6))
+        assert network.edges(2) is network.edges(2)
+        assert network.to_csr(2) is network.to_csr(2)
+        assert network.at(2) is network.at(2)
+
+    def test_negative_round_rejected(self):
+        network = CSRDynamicGraph(4, ring_provider(4))
+        with pytest.raises(ValueError, match="start at 0"):
+            network.to_csr(-1)
+
+    def test_out_of_range_endpoint_rejected(self):
+        def provider(round_no):
+            return np.array([0, 9]), np.array([1, 2])
+
+        with pytest.raises(TopologyError, match="outside"):
+            CSRDynamicGraph(4, provider).to_csr(0)
+
+    def test_self_loop_rejected(self):
+        def provider(round_no):
+            return np.array([0, 2]), np.array([1, 2])
+
+        with pytest.raises(TopologyError, match="self-loop"):
+            CSRDynamicGraph(4, provider).to_csr(0)
+
+    def test_mismatched_lengths_rejected(self):
+        def provider(round_no):
+            return np.array([0, 1]), np.array([1])
+
+        with pytest.raises(TopologyError, match="length"):
+            CSRDynamicGraph(4, provider).edges(0)
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        def provider(round_no):
+            return np.array([0, 1, 1, 2]), np.array([1, 0, 2, 1])
+
+        adjacency = CSRDynamicGraph(3, provider).to_csr(0)
+        assert adjacency.edges == 2
+        assert adjacency.connected
+
+    def test_round_caches_are_bounded(self):
+        network = RandomConnectedAdversary(8, seed=1).as_dynamic_graph()
+        for round_no in range(3 * DEFAULT_ROUND_CACHE_SIZE):
+            network.to_csr(round_no)
+            network.at(round_no)
+        assert all(
+            size <= DEFAULT_ROUND_CACHE_SIZE
+            for size in network.cache_sizes().values()
+        )
+
+    def test_eviction_counter_increments(self):
+        registry = MetricsRegistry()
+        network = CSRDynamicGraph(5, ring_provider(5), cache_rounds=2)
+        with use_registry(registry):
+            for round_no in range(6):
+                network.to_csr(round_no)
+        counters = registry.snapshot()["counters"]
+        assert counters["adjacency.cache_evictions"] >= 4
+
+
+class TestPrecompiledSchedules:
+    def source(self, n=6, seed=3):
+        def provider(round_no):
+            return random_connected_edges(
+                n, np.random.default_rng([seed, round_no]), extra_edge_p=0.2
+            )
+
+        return CSRDynamicGraph(n, provider, name="source")
+
+    def test_prefix_matches_source(self):
+        source = self.source()
+        compiled = precompile_schedule(source, 4)
+        for round_no in range(4):
+            assert np.array_equal(
+                compiled.to_csr(round_no).matrix.toarray(),
+                source.to_csr(round_no).matrix.toarray(),
+            )
+
+    def test_hold_repeats_last_round(self):
+        compiled = precompile_schedule(self.source(), 3, extend="hold")
+        last = compiled.to_csr(2)
+        assert compiled.to_csr(7) is last
+        assert compiled.at(9) is compiled.at(2)
+
+    def test_cycle_wraps(self):
+        source = self.source()
+        compiled = precompile_schedule(source, 3, extend="cycle")
+        assert compiled.to_csr(4) is compiled.to_csr(1)
+        assert np.array_equal(
+            compiled.to_csr(5).matrix.toarray(),
+            source.to_csr(2).matrix.toarray(),
+        )
+
+    def test_strict_raises_past_prefix(self):
+        compiled = precompile_schedule(self.source(), 3, extend="strict")
+        compiled.to_csr(2)
+        with pytest.raises(TopologyError, match="precompiled"):
+            compiled.to_csr(3)
+
+    def test_non_native_source_supported(self):
+        from repro.networks.dynamic_graph import DynamicGraph
+
+        graphs = [nx.path_graph(4), nx.cycle_graph(4)]
+        source = DynamicGraph.from_graphs(graphs)
+        compiled = precompile_schedule(source, 2)
+        for round_no in range(2):
+            assert np.array_equal(
+                compiled.to_csr(round_no).matrix.toarray(),
+                nx.to_numpy_array(graphs[round_no], nodelist=range(4)),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one round"):
+            precompile_schedule(self.source(), 0)
+        with pytest.raises(ValueError, match="extend"):
+            precompile_schedule(self.source(), 2, extend="loop")
+
+    def test_schedule_counter(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            precompile_schedule(self.source(), 2)
+        counters = registry.snapshot()["counters"]
+        assert counters["adjacency.precompiled_schedules"] == 1
+        assert counters["adjacency.native_builds"] >= 2
+
+
+class TestFamilyEquivalence:
+    @pytest.mark.parametrize("family", sorted(family_networks()))
+    def test_native_csr_equals_networkx(self, family):
+        network = family_networks()[family]
+        for round_no in range(6):
+            adjacency = network.to_csr(round_no)
+            graph = network.at(round_no)
+            reference = nx.to_numpy_array(graph, nodelist=range(network.n))
+            assert np.array_equal(adjacency.matrix.toarray(), reference)
+            assert adjacency.connected == nx.is_connected(graph)
+            assert np.array_equal(adjacency.degrees, reference.sum(axis=1))
+
+    @pytest.mark.parametrize("family", sorted(family_networks()))
+    def test_object_and_fast_backends_agree(self, family):
+        object_rounds = flood_time_via_protocol(family_networks()[family], 0)
+        fast_rounds = flood_time_via_protocol(
+            family_networks()[family], 0, backend="fast"
+        )
+        assert object_rounds == fast_rounds
+
+    def test_precompiled_worst_case_equals_plain(self):
+        plain, _layout = worst_case_pd2_network(7)
+        compiled, _layout = worst_case_pd2_network(7, precompiled=True)
+        for round_no in range(10):
+            assert np.array_equal(
+                compiled.to_csr(round_no).matrix.toarray(),
+                nx.to_numpy_array(plain.at(round_no), nodelist=range(plain.n)),
+            )
+
+
+class TestBoundedMemory:
+    def test_long_fresh_graph_run_keeps_caches_bounded(self):
+        adversary = RandomConnectedAdversary(16, seed=9, extra_edge_p=0.0)
+        estimates = gossip_size_estimates(adversary, 16, 150, backend="fast")
+        assert len(estimates) == 150
+        network = adversary.as_dynamic_graph()
+        assert all(
+            size <= DEFAULT_ROUND_CACHE_SIZE
+            for size in network.cache_sizes().values()
+        )
+
+    def test_long_fresh_graph_run_memory_is_stable(self):
+        # After the LRU warms up, hundreds more fresh rounds must not
+        # accumulate lowered adjacencies (the pre-fix behaviour leaked
+        # one CSR matrix + edge arrays per round).
+        network = RandomConnectedAdversary(24, seed=4).as_dynamic_graph()
+        tracemalloc.start()
+        try:
+            for round_no in range(2 * DEFAULT_ROUND_CACHE_SIZE):
+                network.to_csr(round_no)
+            warm = tracemalloc.get_traced_memory()[0]
+            for round_no in range(
+                2 * DEFAULT_ROUND_CACHE_SIZE, 8 * DEFAULT_ROUND_CACHE_SIZE
+            ):
+                network.to_csr(round_no)
+            settled = tracemalloc.get_traced_memory()[0]
+        finally:
+            tracemalloc.stop()
+        assert settled - warm < 256 * 1024

@@ -138,6 +138,70 @@ class TestCaches:
         with pytest.raises(ValueError):
             stack_adjacencies([])
 
+    def test_adjacency_cache_is_bounded(self):
+        registry = MetricsRegistry()
+        cache = AdjacencyCache(maxsize=3)
+        graphs = [nx.path_graph(3) for _ in range(10)]
+        with use_registry(registry):
+            for graph in graphs:
+                cache.lower(graph)
+        assert len(cache) == 3
+        counters = registry.snapshot()["counters"]
+        assert counters["adjacency.cache_evictions"] == 7
+
+    def test_adjacency_cache_lru_keeps_recent(self):
+        cache = AdjacencyCache(maxsize=2)
+        old, recent = nx.path_graph(3), nx.path_graph(4)
+        first = cache.lower(old)
+        second = cache.lower(recent)
+        cache.lower(recent)  # refresh: recent is now most recently used
+        cache.lower(nx.path_graph(5))  # evicts `old`, not `recent`
+        assert cache.lower(recent) is second
+        assert cache.lower(old) is not first
+
+    def test_adjacency_cache_clear(self):
+        cache = AdjacencyCache()
+        graph = nx.path_graph(3)
+        before = cache.lower(graph)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lower(graph) is not before
+
+    def test_stack_cache_is_bounded(self):
+        registry = MetricsRegistry()
+        cache = StackCache(maxsize=2)
+        parts_list = [
+            [lower_graph(nx.path_graph(2)), lower_graph(nx.path_graph(3))]
+            for _ in range(5)
+        ]
+        with use_registry(registry):
+            stacks = [cache.stack(parts) for parts in parts_list]
+        assert len(cache) == 2
+        counters = registry.snapshot()["counters"]
+        assert counters["adjacency.stack_evictions"] == 3
+        # The two most recent entries are still identity-served.
+        assert cache.stack(parts_list[-1]) is stacks[-1]
+        assert cache.stack(parts_list[-2]) is stacks[-2]
+
+    def test_stack_cache_clear(self):
+        cache = StackCache()
+        parts = [lower_graph(nx.path_graph(2)), lower_graph(nx.path_graph(3))]
+        before = cache.stack(parts)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stack(parts) is not before
+
+    def test_stack_cache_changed_length_is_a_miss(self):
+        # A key built from fewer lanes must never be confused with a
+        # stale longer entry (id-reuse collisions included).
+        cache = StackCache()
+        a = lower_graph(nx.path_graph(2))
+        b = lower_graph(nx.path_graph(3))
+        both = cache.stack([a, b])
+        only_a = cache.stack([a])
+        assert only_a is not both
+        assert only_a.n == 2
+
 
 class TestResolveBackend:
     def test_accepts_known(self):
