@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-dynamic-smoke verify-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke bench-dynamic-smoke trace-smoke verify-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,29 @@ bench-smoke:
 # quick mode.  Results land in benchmarks/results/engine-backend-only.*.
 bench-dynamic-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick --only "fresh graph"
+
+# Observability smoke: a --jobs 2 sweep with an injected crash, round
+# telemetry, and a shared JSONL event log must stitch into a single
+# span tree (`repro trace`), render as a feed (`repro tail`), and merge
+# with the metrics snapshot (`repro stats`).  Artifacts stay in
+# .trace-smoke/ for CI to upload.
+trace-smoke:
+	@rm -rf .trace-smoke && mkdir -p .trace-smoke
+	$(PYTHON) -m repro report .trace-smoke/report.md $(SMOKE_EXPERIMENTS) \
+		--jobs 2 --retries 2 --inject-fault kill@1 --telemetry every=2 \
+		--log-json .trace-smoke/events.jsonl \
+		--metrics-out .trace-smoke/metrics.json
+	$(PYTHON) -m repro trace .trace-smoke/events.jsonl \
+		> .trace-smoke/trace.txt
+	grep -q "1 root(s)" .trace-smoke/trace.txt
+	grep -q "sweep.run" .trace-smoke/trace.txt
+	$(PYTHON) -m repro trace .trace-smoke/events.jsonl --flame \
+		> .trace-smoke/folded.txt
+	test -s .trace-smoke/folded.txt
+	$(PYTHON) -m repro tail .trace-smoke/events.jsonl > .trace-smoke/feed.txt
+	grep -q "telemetry" .trace-smoke/feed.txt
+	$(PYTHON) -m repro stats .trace-smoke/metrics.json \
+		.trace-smoke/events.jsonl > /dev/null
 
 # Property-based verification gate: fixed-seed fuzz over all four
 # suites, then the seeded-mutant self-test proving the harness detects,

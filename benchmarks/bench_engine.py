@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+import trajectory
 from repro.analysis.sweep import chunked, log_spaced_sizes
 from repro.core.counting.flooding import (
     flood_time_via_protocol,
@@ -304,9 +305,11 @@ def main(argv: list[str] | None = None) -> int:
         sizes = log_spaced_sizes(32, 2048, per_decade=2)
         seeds = SEEDS
 
+    sweep_start = time.perf_counter()
     workloads = {
         name: bench(sizes, seeds) for name, bench, _ in selected
     }
+    sweep_wall = time.perf_counter() - sweep_start
 
     table = render(workloads, mode)
     print(table)
@@ -321,6 +324,13 @@ def main(argv: list[str] | None = None) -> int:
     (RESULTS_DIR / f"engine-backend{suffix}.json").write_text(
         json.dumps(measurement, indent=1) + "\n"
     )
+    if not args.only:
+        # Partial sweeps would record misleadingly sparse trajectory
+        # entries, so only full workload sets join the history.
+        trajectory.append_run(
+            mode=mode, workloads=workloads, wall_s=sweep_wall
+        )
+        print(f"trajectory updated: {trajectory.TRAJECTORY_PATH}")
 
     if args.update_baseline and args.only:
         print("--update-baseline needs the full workload set; drop --only")

@@ -95,6 +95,65 @@ def test_observability_overhead(results_dir):
     )
 
 
+def test_telemetry_overhead_gate(results_dir):
+    """Acceptance: disabled telemetry costs within noise on the engine.
+
+    The disabled path is one ``is not None`` check per round (the
+    engine captures :func:`telemetry.active` once per run), so the
+    flooding workload must run at the same speed with the subsystem
+    merely importable.  Sampling enabled-but-never-firing (a huge
+    ``every``) must also stay near-free; ``every=1`` into a discard
+    sink is recorded for scale but not gated (it does real work).
+    """
+    import io
+
+    from repro.obs import telemetry
+    from repro.obs.spans import JsonlSink, add_sink, remove_sink
+
+    def timed() -> float:
+        start = time.perf_counter()
+        _flooded_run()
+        return time.perf_counter() - start
+
+    # Interleave the configurations so clock-frequency drift and cache
+    # warming hit all three equally; best-of defeats scheduler spikes.
+    off = guard_only = every_round = float("inf")
+    with use_registry(MetricsRegistry()):
+        for _ in range(3):
+            _flooded_run()  # warm caches before any timed pass
+        sink = JsonlSink(io.StringIO())
+        for _ in range(15):
+            off = min(off, timed())
+            with telemetry.telemetry_enabled(every=10_000_000):
+                guard_only = min(guard_only, timed())
+            add_sink(sink)
+            try:
+                with telemetry.telemetry_enabled(every=1):
+                    every_round = min(every_round, timed())
+            finally:
+                remove_sink(sink)
+
+    guard_ratio = guard_only / off
+    every_ratio = every_round / off
+    with open(results_dir / "observability.txt", "a") as out:
+        out.write(
+            "\ntelemetry overhead (flooding, 40 nodes, 30 rounds; "
+            "interleaved best of 15)\n"
+            f"telemetry off:             {off:.4f}s\n"
+            f"enabled, never sampling:   {guard_only:.4f}s "
+            f"({guard_ratio:.3f}x)\n"
+            f"every round into a sink:   {every_round:.4f}s "
+            f"({every_ratio:.3f}x)\n"
+        )
+    # The acceptance bar is <2%; gate at 10% so scheduler noise on a
+    # shared CI box cannot flake the build, with the measured ratio
+    # recorded above for the humans tracking the real margin.
+    assert guard_ratio < 1.10, (
+        f"armed-but-not-sampling telemetry cost {guard_ratio:.3f}x "
+        f"(off {off:.4f}s, enabled {guard_only:.4f}s)"
+    )
+
+
 def test_instrumented_kernel_experiment(results_dir):
     # The sparse rounds of the kernel-structure experiment now run
     # under sparse.build / sparse.rank spans; the checks must be

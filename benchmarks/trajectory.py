@@ -1,0 +1,49 @@
+"""Append a benchmark run to the repo's performance trajectory.
+
+Thin benchmark-side wrapper over :mod:`repro.obs.bench`: builds the
+standardized record (git rev, python, mode, per-workload largest-size
+speedups, wall-clock, peak RSS) and appends it to
+``benchmarks/BENCH_trajectory.json``.  ``bench_engine.py`` calls
+:func:`append_run` after every sweep; ``repro bench-report`` reads the
+result back and diffs the latest run against its same-mode baseline.
+
+Also runnable directly to inspect the trajectory::
+
+    python benchmarks/trajectory.py          # print the report
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.obs.bench import append_record, make_record, render_report
+
+HERE = Path(__file__).parent
+TRAJECTORY_PATH = HERE / "BENCH_trajectory.json"
+
+
+def append_run(
+    *,
+    mode: str,
+    workloads: Mapping[str, Sequence[Mapping[str, Any]]],
+    wall_s: float,
+    path: Path = TRAJECTORY_PATH,
+) -> int:
+    """Record one bench run; returns the trajectory's new length."""
+    record = make_record(
+        mode=mode, workloads=workloads, wall_s=wall_s, cwd=HERE
+    )
+    return append_record(record, path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    path = Path(argv[0]) if argv else TRAJECTORY_PATH
+    text, status = render_report(path)
+    print(text)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

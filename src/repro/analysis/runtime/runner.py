@@ -74,7 +74,11 @@ from repro.obs.metrics import (
     get_registry,
     use_registry,
 )
-from repro.obs.spans import span
+from repro.obs.spans import (
+    adopt_worker_context,
+    propagation_context,
+    span,
+)
 
 _log = get_logger("analysis.runtime.runner")
 
@@ -152,14 +156,21 @@ class _Task:
 
 
 def _attempt_main(
-    conn: Connection, experiment: str, params: dict[str, Any], fault: str | None
+    conn: Connection,
+    experiment: str,
+    params: dict[str, Any],
+    fault: str | None,
+    trace_ctx: tuple[str, str | None] | None,
 ) -> None:
     # The body of one process-backed attempt.  Runs under a fresh
     # metrics registry whose snapshot travels back with the result, so
-    # the parent can merge worker metrics losslessly.  Errors are
+    # the parent can merge worker metrics losslessly.  The parent's
+    # trace context is adopted first thing, so this worker's spans and
+    # sink events stitch under the sweep's span tree.  Errors are
     # classified *here*, where the live exception object exists, and
     # cross the pipe as (kind, description).
     try:
+        adopt_worker_context(trace_ctx)
         if fault is not None:
             faults_mod.trigger(fault, in_process=False)
         registry = MetricsRegistry()
@@ -213,6 +224,11 @@ class _SweepRunner:
         self.worker_deaths = 0
         self.degraded = False
         self.provenance: list[str] = []
+        # Successful attempts' metrics snapshots, buffered as
+        # (task index, snapshot) and merged in task order at sweep end:
+        # gauges are last-write-wins, so merging in completion order
+        # would make `repro all --jobs N` gauge values race-dependent.
+        self.snapshots: list[tuple[int, dict[str, Any]]] = []
 
     # -- shared task-lifecycle plumbing -----------------------------------
 
@@ -221,7 +237,7 @@ class _SweepRunner:
             counter("runtime.faults.injected")
             _log.warning(
                 "injecting fault",
-                extra={"task": task.key, "kind": fault, "attempt": task.attempt},
+                extra={"task": task.key, "fault": fault, "attempt": task.attempt},
             )
         if self.journal is not None:
             self.journal.record_started(
@@ -375,7 +391,7 @@ class _SweepRunner:
                     exc=exc,
                 )
                 continue
-            get_registry().merge(registry.snapshot())
+            self.snapshots.append((task.index, registry.snapshot()))
             self._complete(task, result, results)
 
     # -- process-backed execution -----------------------------------------
@@ -418,7 +434,13 @@ class _SweepRunner:
         recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
         process = multiprocessing.Process(
             target=_attempt_main,
-            args=(send_conn, task.request.experiment, task.params, fault),
+            args=(
+                send_conn,
+                task.request.experiment,
+                task.params,
+                fault,
+                propagation_context(),
+            ),
             daemon=True,
         )
         process.start()
@@ -459,7 +481,7 @@ class _SweepRunner:
                 self._worker_death(task, process, queue, results)
             elif message[0] == "ok":
                 _, result, snapshot = message
-                get_registry().merge(snapshot)
+                self.snapshots.append((task.index, snapshot))
                 self._complete(task, result, results)
             else:
                 _, kind, description = message
@@ -514,6 +536,21 @@ class _SweepRunner:
             results,
             exc=WorkerCrash(description),
         )
+
+
+def merge_snapshots_in_task_order(
+    snapshots: Sequence[tuple[int, dict[str, Any]]],
+) -> None:
+    """Fold attempt metrics snapshots into the current registry.
+
+    Sorted by task index so gauge values (last-write-wins) come out
+    identical whatever order the workers finished in; counter and
+    histogram merges are associative and commutative, so ordering only
+    matters for gauges.
+    """
+    registry = get_registry()
+    for _, snapshot in sorted(snapshots, key=lambda item: item[0]):
+        registry.merge(snapshot)
 
 
 def _resume_result(
@@ -596,16 +633,16 @@ def run_sweep(
         )
     outcome = SweepOutcome()
     results: dict[int, ExperimentResult] = {}
-    _log.info(
-        "running sweep",
-        extra={
-            "count": len(tasks),
-            "jobs": jobs,
-            "cached": cache is not None,
-            "resume": resume,
-        },
-    )
     with span("sweep.run", tasks=len(tasks), jobs=jobs, resume=resume):
+        _log.info(
+            "running sweep",
+            extra={
+                "count": len(tasks),
+                "jobs": jobs,
+                "cached": cache is not None,
+                "resume": resume,
+            },
+        )
         replayed: dict[str, JournalEntry] = {}
         if journal is not None:
             if resume:
@@ -656,10 +693,18 @@ def run_sweep(
             degrade_after=degrade_after,
         )
         queue = list(pending)
-        if jobs > 1 and len(queue) > 1:
-            queue = runner.run_pool(queue, results)
-        if queue:
-            runner.run_serial(queue, results)
+        try:
+            if jobs > 1 and len(queue) > 1:
+                queue = runner.run_pool(queue, results)
+            if queue:
+                runner.run_serial(queue, results)
+        finally:
+            # Merge attempt snapshots in *task* order, not completion
+            # order: counters and histograms are associative, but gauges
+            # are last-write-wins, so this is what makes `--jobs N`
+            # metrics deterministic.  Runs even when the sweep aborts,
+            # so completed tasks' metrics survive the exception.
+            merge_snapshots_in_task_order(runner.snapshots)
         outcome.failed = runner.failures
         outcome.provenance.extend(runner.provenance)
     outcome.results = [results[task.index] for task in tasks]

@@ -13,7 +13,12 @@ Usage::
     python -m repro report out/report.md --jobs 4
     python -m repro run tab-kernel-structure --metrics-out m.json
     python -m repro all --log-level debug --log-json events.jsonl
-    python -m repro stats m.json
+    python -m repro run tab-star-pd1 --telemetry every=10 --log-json e.jsonl
+    python -m repro stats m.json worker-*.json
+    python -m repro trace events.jsonl
+    python -m repro trace events.jsonl --flame > folded.txt
+    python -m repro tail .repro-cache/journal.jsonl events.jsonl --follow
+    python -m repro bench-report
     python -m repro verify --fuzz 200 --seed 0
     python -m repro verify --suite kernel --suite backend
     python -m repro verify --self-test
@@ -49,10 +54,20 @@ Observability (same commands):
   JSONL file (one JSON object per line).
 * ``--metrics-out PATH`` -- write the command's metrics snapshot
   (counters, gauges, histograms) as JSON.
+* ``--telemetry [EVERY]`` -- emit one ``kind: "telemetry"`` event per
+  sampled engine round (informed/terminated counts, traffic, graph
+  size) to the JSONL sinks; ``EVERY`` is ``K`` or ``every=K``.
 * ``--profile`` / ``--profile-mem`` -- cProfile / tracemalloc report on
   stderr when the command finishes.
 
-``repro stats PATH`` summarises either artifact back into tables.
+``repro stats PATH...`` summarises the artifacts back into tables
+(several paths/globs merge into one report).  ``repro trace PATH...``
+stitches JSONL event files -- including a multi-process sweep's -- into
+span trees (``--flame`` emits folded stacks for flamegraph tooling).
+``repro tail`` renders a sweep's journal and event files as one
+human-readable feed (``--follow`` keeps polling).  ``repro
+bench-report`` diffs the latest recorded benchmark run against its
+same-mode baseline (see ``benchmarks/BENCH_trajectory.json``).
 
 ``repro verify`` fuzzes the property-based verification suites of
 :mod:`repro.verify` (model invariants, the paper's kernel identities,
@@ -112,6 +127,18 @@ def _observability_options() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the run's metrics snapshot (JSON) to PATH",
+    )
+    group.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="1",
+        default=None,
+        metavar="EVERY",
+        help=(
+            "emit per-round engine telemetry events every EVERY rounds "
+            "('K' or 'every=K'; bare flag samples every round); pair "
+            "with --log-json to capture them"
+        ),
     )
     group.add_argument(
         "--profile",
@@ -255,9 +282,70 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats = commands.add_parser(
         "stats",
-        help="summarise a --metrics-out snapshot or --log-json event file",
+        help="summarise --metrics-out snapshots / --log-json event files",
     )
-    stats.add_argument("path", help="metrics JSON or JSONL event file")
+    stats.add_argument(
+        "path",
+        nargs="+",
+        help=(
+            "metrics JSON or JSONL event files (paths or globs); "
+            "several merge into one report"
+        ),
+    )
+    trace = commands.add_parser(
+        "trace",
+        help="stitch JSONL event file(s) into span trees",
+    )
+    trace.add_argument(
+        "paths",
+        nargs="+",
+        help="JSONL event files or globs (--log-json outputs)",
+    )
+    trace.add_argument(
+        "--flame",
+        action="store_true",
+        help="emit folded stacks (span self-time) for flamegraph tooling",
+    )
+    tail = commands.add_parser(
+        "tail",
+        help="render a sweep's journal/event JSONL files as one feed",
+    )
+    tail.add_argument(
+        "paths",
+        nargs="+",
+        help="journal.jsonl and/or --log-json event files",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for appended lines (interrupt to stop)",
+    )
+    bench_report = commands.add_parser(
+        "bench-report",
+        help="diff the latest recorded benchmark run against its baseline",
+    )
+    bench_report.add_argument(
+        "path",
+        nargs="?",
+        default="benchmarks/BENCH_trajectory.json",
+        help="bench trajectory file (default: %(default)s)",
+    )
+    bench_report.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        metavar="R",
+        help=(
+            "flag a workload whose speedup fell below R times the "
+            "baseline's (default: %(default)s)"
+        ),
+    )
+    bench_report.add_argument(
+        "--mode",
+        choices=["quick", "full"],
+        default=None,
+        help="restrict the trajectory to one bench mode",
+    )
     verify = commands.add_parser(
         "verify",
         parents=[obs_options],
@@ -458,6 +546,34 @@ def _execute(args: argparse.Namespace) -> int:
     return 0 if outcome.passed else 1
 
 
+def _execute_trace(args: argparse.Namespace) -> int:
+    """Run the ``trace`` command: stitch JSONL files into span trees."""
+    from repro.obs.trace import (
+        folded_stacks,
+        read_events,
+        render_trace,
+        stitch,
+    )
+
+    try:
+        events, bad = read_events(args.paths)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    traces = stitch(events)
+    if not traces:
+        print("no events")
+        return 1
+    if args.flame:
+        for trace in traces:
+            for line in folded_stacks(trace):
+                print(line)
+    else:
+        print("\n\n".join(render_trace(trace) for trace in traces))
+    if bad:
+        print(f"({bad} unparseable line(s) skipped)", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -466,14 +582,48 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment)
         return 0
     if args.command == "stats":
-        from repro.obs.stats import summarize_stats_file
+        from repro.obs.stats import summarize_stats_files
 
-        print(summarize_stats_file(args.path))
+        try:
+            print(summarize_stats_files(args.path))
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
         return 0
+    if args.command == "trace":
+        return _execute_trace(args)
+    if args.command == "tail":
+        from repro.obs.tail import tail as tail_files
 
+        try:
+            tail_files(args.paths, follow=args.follow, stream=sys.stdout)
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from exc
+        except (KeyboardInterrupt, BrokenPipeError):
+            pass  # interrupted follow / output piped into `head`
+        return 0
+    if args.command == "bench-report":
+        from repro.obs.bench import render_report
+
+        try:
+            text, status = render_report(
+                args.path, threshold=args.threshold, mode=args.mode
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        print(text)
+        return status
+
+    from repro.obs import telemetry as telemetry_mod
     from repro.obs.logger import configure_logging, teardown_logging
     from repro.obs.metrics import MetricsRegistry, use_registry
     from repro.obs.profiling import memory_profiled, profiled
+
+    telemetry_arg = getattr(args, "telemetry", None)
+    if telemetry_arg is not None:
+        try:
+            telemetry_every = telemetry_mod.parse_every(telemetry_arg)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
 
     handlers = configure_logging(args.log_level, json_path=args.log_json)
     try:
@@ -482,6 +632,10 @@ def main(argv: list[str] | None = None) -> int:
                 stack.enter_context(profiled())
             if args.profile_mem:
                 stack.enter_context(memory_profiled())
+            if telemetry_arg is not None:
+                stack.enter_context(
+                    telemetry_mod.telemetry_enabled(telemetry_every)
+                )
             try:
                 return _execute(args)
             finally:

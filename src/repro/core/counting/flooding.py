@@ -99,6 +99,9 @@ class VectorizedFlood(VectorizedProtocol):
     def output_mask(self) -> np.ndarray:
         return self.informed
 
+    def informed_mask(self) -> np.ndarray:
+        return self.informed
+
     def outputs_for(self, layout: LaneLayout) -> dict[int, bool]:
         return {
             index: True

@@ -16,12 +16,22 @@ wall-clock -- so measurement itself is a first-class subsystem:
 * :mod:`repro.obs.profiling` -- opt-in :mod:`cProfile` and
   :mod:`tracemalloc` context managers behind ``--profile`` /
   ``--profile-mem``.
-* :mod:`repro.obs.stats` -- ``repro stats PATH``: summarise a metrics
-  snapshot or JSONL event file into tables.
+* :mod:`repro.obs.stats` -- ``repro stats PATH...``: summarise (and
+  merge) metrics snapshots and JSONL event files into tables.
+* :mod:`repro.obs.telemetry` -- sampled per-round engine telemetry
+  (``--telemetry [every=K]``): informed/terminated counts, traffic,
+  and graph size as ``kind: "telemetry"`` JSONL events.
+* :mod:`repro.obs.trace` -- trace identity (``trace_id`` / ``span_id``
+  / ``parent_id``), cross-process context propagation, and stitching of
+  per-worker JSONL files into one ordered span tree (``repro trace``).
+* :mod:`repro.obs.bench` -- the standardized benchmark record schema,
+  the append-only ``BENCH_trajectory.json`` history, and the regression
+  report behind ``repro bench-report``.
 
 Everything is dependency-free stdlib and cheap when idle: counters are
-dict increments, spans are two ``perf_counter`` calls, and per-round
-engine logging is gated on ``isEnabledFor(DEBUG)``.
+dict increments, spans are two ``perf_counter`` calls, disabled
+telemetry is one ``is not None`` check per round, and per-round engine
+logging is gated on ``isEnabledFor(DEBUG)``.
 """
 
 from repro.obs.logger import configure_logging, get_logger
@@ -34,24 +44,45 @@ from repro.obs.metrics import (
     use_registry,
 )
 from repro.obs.profiling import memory_profiled, profiled
-from repro.obs.spans import JsonlSink, Span, add_sink, remove_sink, span
-from repro.obs.stats import summarize_stats_file
+from repro.obs.spans import (
+    JsonlSink,
+    Span,
+    add_sink,
+    adopt_worker_context,
+    emit_event,
+    propagation_context,
+    remove_sink,
+    span,
+)
+from repro.obs.stats import summarize_stats_file, summarize_stats_files
+from repro.obs.telemetry import Telemetry, telemetry_enabled
+from repro.obs.trace import StitchedTrace, read_events, render_trace, stitch
 
 __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "Span",
+    "StitchedTrace",
+    "Telemetry",
     "add_sink",
+    "adopt_worker_context",
     "configure_logging",
     "counter",
+    "emit_event",
     "gauge",
     "get_logger",
     "get_registry",
     "memory_profiled",
     "observe",
     "profiled",
+    "propagation_context",
+    "read_events",
     "remove_sink",
+    "render_trace",
     "span",
+    "stitch",
     "summarize_stats_file",
+    "summarize_stats_files",
+    "telemetry_enabled",
     "use_registry",
 ]

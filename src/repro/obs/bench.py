@@ -1,0 +1,256 @@
+"""The benchmark observatory: record schema, trajectory, regression report.
+
+Benchmarks already *gate* (``bench_engine.py`` fails when a speedup
+drops below its committed floor) but they did not *remember*: every run
+overwrote ``benchmarks/results/`` and the repo's performance history
+lived in git archaeology.  This module gives benchmark runs a
+standardized record and an append-only history:
+
+* :func:`make_record` -- one run as a schema-versioned dict: git
+  revision, python, mode, wall-clock, peak RSS, and per-workload
+  summary (largest-size speedup and timings).
+* :func:`append_record` -- append to ``benchmarks/BENCH_trajectory
+  .json`` (created on first use); the file is the repo's performance
+  trajectory, one record per benchmark run, oldest first.
+* :func:`render_report` / :func:`compare_latest` -- the ``repro
+  bench-report`` backend: render the trajectory and diff the latest run
+  against a baseline run of the same mode, flagging any workload whose
+  speedup fell below ``threshold`` times the baseline.
+
+Records are deliberately summary-level (the full per-size rows stay in
+``benchmarks/results/*.json``): the trajectory is for spotting trends
+and regressions across commits, not for re-plotting sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.obs.spans import peak_rss_mib
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "append_record",
+    "compare_latest",
+    "git_revision",
+    "load_trajectory",
+    "make_record",
+    "render_report",
+]
+
+SCHEMA_VERSION = 1
+
+_TRAJECTORY_DESCRIPTION = (
+    "Append-only benchmark trajectory: one schema-versioned record per "
+    "bench run (git rev, python, mode, wall-clock, peak RSS, per-workload "
+    "largest-size speedups). Read with `repro bench-report`."
+)
+
+
+def git_revision(cwd: str | Path | None = None) -> str | None:
+    """The short git revision of ``cwd``'s repo, or ``None``.
+
+    Benchmarks run outside a checkout (tarballs, CI caches) must still
+    record; a missing git is data (``null``), not an error.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def _summarize_workload(rows: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Largest-size summary of one workload's per-size rows."""
+    last = rows[-1]
+    return {
+        "n": last.get("n"),
+        "runs": last.get("runs"),
+        "object_s": round(float(last.get("object_s", 0.0)), 6),
+        "fast_s": round(float(last.get("fast_s", 0.0)), 6),
+        "speedup": round(float(last.get("speedup", 0.0)), 3),
+    }
+
+
+def make_record(
+    *,
+    mode: str,
+    workloads: Mapping[str, Sequence[Mapping[str, Any]]],
+    wall_s: float,
+    git_rev: str | None = None,
+    cwd: str | Path | None = None,
+) -> dict[str, Any]:
+    """One benchmark run as a standardized trajectory record.
+
+    Args:
+        mode: The bench's size regime (``"quick"`` / ``"full"``).
+        workloads: Per-workload lists of per-size rows, each row with at
+            least ``n`` / ``object_s`` / ``fast_s`` / ``speedup`` keys
+            (the shape ``bench_engine.py`` produces).
+        wall_s: Total wall-clock of the benchmark run.
+        git_rev: Revision override; auto-detected from ``cwd`` if None.
+    """
+    rss = peak_rss_mib()
+    return {
+        "schema": SCHEMA_VERSION,
+        "recorded_at": round(time.time(), 3),
+        "git_rev": git_rev if git_rev is not None else git_revision(cwd),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "mode": mode,
+        "wall_s": round(float(wall_s), 3),
+        "peak_rss_mib": round(rss, 1) if rss is not None else None,
+        "workloads": {
+            name: _summarize_workload(rows)
+            for name, rows in workloads.items()
+            if rows
+        },
+    }
+
+
+def load_trajectory(path: str | Path) -> list[dict[str, Any]]:
+    """The trajectory's records, oldest first (empty if absent).
+
+    Raises:
+        ValueError: The file exists but is not a trajectory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "runs" not in payload:
+        raise ValueError(f"{path} is not a bench trajectory (no 'runs' key)")
+    runs = payload["runs"]
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: 'runs' must be a list")
+    return runs
+
+
+def append_record(record: Mapping[str, Any], path: str | Path) -> int:
+    """Append one record to the trajectory file; returns the new length.
+
+    Creates the file (with its schema envelope) on first use.
+    """
+    path = Path(path)
+    runs = load_trajectory(path)
+    runs.append(dict(record))
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "description": _TRAJECTORY_DESCRIPTION,
+        "runs": runs,
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return len(runs)
+
+
+def compare_latest(
+    runs: Sequence[Mapping[str, Any]],
+    *,
+    threshold: float = 0.8,
+    mode: str | None = None,
+) -> tuple[list[dict[str, Any]], int]:
+    """Diff the latest run against its same-mode baseline.
+
+    The baseline is the *previous* run of the same mode (benchmarks are
+    machine-relative, so cross-mode or cross-era comparisons mislead).
+    A workload regresses when its speedup fell below ``threshold``
+    times the baseline's.
+
+    Returns:
+        ``(rows, status)``: one row per workload of the latest run
+        (columns: workload, baseline/current speedup, ratio, verdict)
+        and a ``repro``-style exit status (1 if anything regressed).
+    """
+    if mode is not None:
+        runs = [run for run in runs if run.get("mode") == mode]
+    if not runs:
+        return [], 0
+    latest = runs[-1]
+    baseline = None
+    for run in reversed(runs[:-1]):
+        if run.get("mode") == latest.get("mode"):
+            baseline = run
+            break
+    rows: list[dict[str, Any]] = []
+    status = 0
+    for name, summary in latest.get("workloads", {}).items():
+        current = float(summary.get("speedup", 0.0))
+        base = (
+            float(baseline["workloads"][name]["speedup"])
+            if baseline is not None and name in baseline.get("workloads", {})
+            else None
+        )
+        if base is None:
+            verdict, ratio = "new", None
+        else:
+            ratio = current / base if base else float("inf")
+            regressed = ratio < threshold
+            verdict = "REGRESSION" if regressed else "ok"
+            if regressed:
+                status = 1
+        rows.append(
+            {
+                "workload": name,
+                "baseline": base,
+                "current": current,
+                "ratio": ratio,
+                "verdict": verdict,
+            }
+        )
+    return rows, status
+
+
+def render_report(
+    path: str | Path, *, threshold: float = 0.8, mode: str | None = None
+) -> tuple[str, int]:
+    """The ``repro bench-report`` text: trajectory tail plus the diff.
+
+    Returns ``(text, status)``; status 1 means a regression (or an
+    empty/missing trajectory, which a CI gate should also notice).
+    """
+    runs = load_trajectory(path)
+    if mode is not None:
+        runs = [run for run in runs if run.get("mode") == mode]
+    if not runs:
+        scope = f" (mode={mode})" if mode else ""
+        return f"no benchmark runs recorded in {path}{scope}", 1
+    lines = [f"benchmark trajectory: {len(runs)} run(s) in {path}", ""]
+    for run in runs[-5:]:
+        workloads = run.get("workloads", {})
+        speeds = ", ".join(
+            f"{summary.get('speedup'):g}x" for summary in workloads.values()
+        )
+        lines.append(
+            f"  rev {run.get('git_rev') or '?':>9}  mode {run.get('mode')}  "
+            f"python {run.get('python')}  wall {run.get('wall_s')}s  "
+            f"speedups [{speeds}]"
+        )
+    rows, status = compare_latest(runs, threshold=threshold)
+    lines.append("")
+    if len(runs) < 2:
+        lines.append("(single run: nothing to diff against yet)")
+        return "\n".join(lines), 0
+    lines.append(
+        f"latest vs previous same-mode run (threshold {threshold:g}):"
+    )
+    for row in rows:
+        base = f"{row['baseline']:.2f}x" if row["baseline"] is not None else "-"
+        ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "-"
+        lines.append(
+            f"  {row['workload']}: {base} -> {row['current']:.2f}x "
+            f"(ratio {ratio}) {row['verdict']}"
+        )
+    return "\n".join(lines), status

@@ -66,7 +66,11 @@ class JsonlLogHandler(logging.Handler):
                 "logger": record.name,
                 "msg": record.getMessage(),
             }
-            event.update(record_extras(record))
+            # Extras must not clobber the envelope keys: a record with
+            # extra={"kind": ...} would otherwise stop being a log event
+            # and break downstream kind-dispatch (stats, trace, tail).
+            for key, value in record_extras(record).items():
+                event.setdefault(key, value)
             self.sink.emit(event)
         except Exception:
             self.handleError(record)

@@ -15,14 +15,23 @@ and on exit each span:
   workers exactly like any other metric, and
 * emits a ``{"kind": "span", ...}`` event to every registered sink.
 
+Every span carries real identity (:mod:`repro.obs.trace`):
+``trace_id`` names the whole logical operation, ``span_id`` the span,
+``parent_id`` the enclosing span -- so the tree survives serialization
+and, via :func:`adopt_worker_context`, process boundaries.
+
 The only sink implementation is :class:`JsonlSink`: one JSON object per
 line, shared with the structured logger (``--log-json`` writes spans
 and log records into the same file so events interleave in order).
+The sink stamps every event with the writing process id (``pid``) and
+a per-sink monotonic sequence number (``seq``), so a file appended to
+by a sweep's worker processes remains totally orderable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import threading
 import time
@@ -31,14 +40,19 @@ from typing import Any, Iterator, TextIO
 
 from contextlib import contextmanager
 
+from repro.obs import trace as trace_mod
 from repro.obs.metrics import observe
 
 __all__ = [
     "JsonlSink",
     "Span",
     "add_sink",
+    "adopt_worker_context",
     "current_span",
+    "current_trace_id",
+    "emit_event",
     "peak_rss_mib",
+    "propagation_context",
     "remove_sink",
     "span",
 ]
@@ -66,6 +80,9 @@ class Span:
     start_wall: float = 0.0
     duration_s: float | None = None
     rss_mib: float | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
     def event(self) -> dict[str, Any]:
         """The JSONL event emitted when the span closes."""
@@ -76,6 +93,12 @@ class Span:
             "duration_s": self.duration_s,
             "depth": self.depth,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
         if self.parent is not None:
             record["parent"] = self.parent
         if self.rss_mib is not None:
@@ -91,6 +114,13 @@ class JsonlSink:
     Writes are serialised with a lock so spans and log records from
     multiple threads interleave as whole lines.  Values that are not
     JSON-native are rendered with ``repr`` rather than raised.
+
+    Every event is stamped with its origin before writing: ``pid`` (the
+    writing process -- a sweep's forked workers append to the same
+    file) and ``seq``, a per-sink monotonic sequence number, so an
+    interleaved multi-process file is totally orderable by ``(ts, pid,
+    seq)``.  Events inside a trace additionally get the ambient
+    ``trace_id`` unless they already carry one.
     """
 
     def __init__(self, target: str | TextIO) -> None:
@@ -101,10 +131,21 @@ class JsonlSink:
             self._stream = target
             self._owns_stream = False
         self._lock = threading.Lock()
+        self._seq = 0
 
     def emit(self, event: dict[str, Any]) -> None:
-        line = json.dumps(event, default=repr)
+        # Copy before stamping: the same dict may fan out to several
+        # sinks, each with its own sequence counter.
+        event = dict(event)
+        event.setdefault("pid", os.getpid())
+        if "trace_id" not in event:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                event["trace_id"] = trace_id
         with self._lock:
+            event.setdefault("seq", self._seq)
+            self._seq += 1
+            line = json.dumps(event, default=repr)
             self._stream.write(line + "\n")
             self._stream.flush()
 
@@ -152,6 +193,56 @@ def current_span() -> Span | None:
     return stack[-1] if stack else None
 
 
+def current_trace_id() -> str | None:
+    """The trace id events emitted *now* belong to, or ``None``.
+
+    The innermost open span's trace wins; outside any span, a context
+    adopted from a parent process (:func:`adopt_worker_context`)
+    supplies it.
+    """
+    current = current_span()
+    if current is not None and current.trace_id is not None:
+        return current.trace_id
+    ambient = trace_mod.ambient_context()
+    return ambient[0] if ambient is not None else None
+
+
+def propagation_context() -> tuple[str, str | None] | None:
+    """The ``(trace_id, span_id)`` to hand a child process.
+
+    Captured by the sweep runtime right before spawning an attempt
+    worker; the worker passes it to :func:`adopt_worker_context` so its
+    root span parents to the span open here.
+    """
+    current = current_span()
+    if current is not None and current.trace_id is not None:
+        return (current.trace_id, current.span_id)
+    return trace_mod.ambient_context()
+
+
+def adopt_worker_context(context: tuple[str, str | None] | None) -> None:
+    """Worker bootstrap: join the parent process's trace.
+
+    Clears any span stack inherited through ``fork`` (those spans
+    belong to the parent and will never close here) and installs the
+    parent's ``(trace_id, parent_span_id)`` as the ambient context, so
+    the worker's spans -- and, via the sink stamp, its log/telemetry
+    events -- stitch into the parent's trace.  ``None`` clears instead
+    (the parent traced nothing).
+    """
+    _span_stack().clear()
+    if context is None:
+        trace_mod.clear_context()
+    else:
+        trace_mod.adopt_context(*context)
+
+
+def emit_event(event: dict[str, Any]) -> None:
+    """Send one already-shaped event to every registered sink."""
+    for sink in _sinks:
+        sink.emit(event)
+
+
 @contextmanager
 def span(
     name: str, *, record_rss: bool = True, **attrs: Any
@@ -171,12 +262,22 @@ def span(
     """
     stack = _span_stack()
     parent = stack[-1] if stack else None
+    if parent is not None:
+        trace_id = parent.trace_id
+        parent_id = parent.span_id
+    else:
+        ambient = trace_mod.ambient_context()
+        trace_id = ambient[0] if ambient is not None else trace_mod.new_id()
+        parent_id = ambient[1] if ambient is not None else None
     record = Span(
         name=name,
         attrs=attrs,
         parent=parent.name if parent is not None else None,
         depth=len(stack),
         start_wall=time.time(),
+        trace_id=trace_id,
+        span_id=trace_mod.new_id(),
+        parent_id=parent_id,
     )
     stack.append(record)
     start = time.perf_counter()
@@ -188,6 +289,4 @@ def span(
             record.rss_mib = peak_rss_mib()
         stack.pop()
         observe(f"span.{name}.s", record.duration_s)
-        event = record.event()
-        for sink in _sinks:
-            sink.emit(event)
+        emit_event(record.event())

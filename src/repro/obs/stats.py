@@ -10,18 +10,30 @@ tables (via :func:`repro.analysis.tables.render_table`):
 
 For event logs, spans are aggregated per name (count, total, mean, max
 seconds) -- the quickest way to see *why* a sweep was slow without
-re-running it under a profiler.
+re-running it under a profiler.  Round telemetry records
+(:mod:`repro.obs.telemetry`) are aggregated per engine.
+
+``repro stats`` accepts several paths (and shell-style globs):
+snapshots merge through :meth:`MetricsRegistry.merge` and event logs
+concatenate, so the per-worker artifacts of a sweep summarise as one.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from repro.analysis.tables import render_table
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import expand_paths
 
-__all__ = ["summarize_events", "summarize_snapshot", "summarize_stats_file"]
+__all__ = [
+    "summarize_events",
+    "summarize_snapshot",
+    "summarize_stats_file",
+    "summarize_stats_files",
+]
 
 
 def summarize_snapshot(snapshot: dict[str, Any]) -> str:
@@ -70,6 +82,7 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
     """Aggregate a JSONL event stream (spans + log records) as tables."""
     spans: dict[str, dict[str, float]] = {}
     levels: dict[str, int] = {}
+    telemetry: dict[str, dict[str, int]] = {}
     other = 0
     for event in events:
         kind = event.get("kind")
@@ -85,6 +98,16 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
         elif kind == "log":
             level = str(event.get("level", "?"))
             levels[level] = levels.get(level, 0) + 1
+        elif kind == "telemetry":
+            agg_t = telemetry.setdefault(
+                str(event.get("engine", "?")),
+                {"records": 0, "last_round": 0, "delivered": 0},
+            )
+            agg_t["records"] += 1
+            agg_t["last_round"] = max(
+                agg_t["last_round"], int(event.get("round", 0))
+            )
+            agg_t["delivered"] += int(event.get("delivered", 0))
         else:
             other += 1
     sections: list[str] = []
@@ -117,6 +140,23 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
         sections.append(
             render_table(rows, ["level", "records"], title="Log records")
         )
+    if telemetry:
+        rows = [
+            {
+                "engine": engine,
+                "records": agg["records"],
+                "last round": agg["last_round"],
+                "delivered": agg["delivered"],
+            }
+            for engine, agg in sorted(telemetry.items())
+        ]
+        sections.append(
+            render_table(
+                rows,
+                ["engine", "records", "last round", "delivered"],
+                title="Round telemetry",
+            )
+        )
     if other:
         sections.append(f"(plus {other} events of unknown kind)")
     if not sections:
@@ -124,18 +164,13 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
     return "\n\n".join(sections)
 
 
-def summarize_stats_file(path: str | Path) -> str:
-    """Summarise ``path`` -- a metrics snapshot or a JSONL event log.
+def _sniff(text: str) -> tuple[dict[str, Any] | None, list[dict[str, Any]], int]:
+    """Classify one file's content: ``(snapshot, events, bad_lines)``.
 
-    Format is sniffed from the content: a single JSON object with a
-    ``counters``/``gauges``/``histograms`` key is a snapshot; anything
-    else is parsed line by line as events (unparseable lines are
-    counted, not fatal).
-
-    Raises:
-        OSError: ``path`` cannot be read.
+    A single JSON object with a ``counters``/``gauges``/``histograms``
+    key is a metrics snapshot; anything else is parsed line by line as
+    events (unparseable lines are counted, not fatal).
     """
-    text = Path(path).read_text()
     try:
         payload = json.loads(text)
     except ValueError:
@@ -143,7 +178,7 @@ def summarize_stats_file(path: str | Path) -> str:
     if isinstance(payload, dict) and (
         {"counters", "gauges", "histograms"} & payload.keys()
     ):
-        return summarize_snapshot(payload)
+        return payload, [], 0
     events: list[dict[str, Any]] = []
     bad = 0
     for line in text.splitlines():
@@ -159,7 +194,50 @@ def summarize_stats_file(path: str | Path) -> str:
             events.append(event)
         else:
             bad += 1
-    summary = summarize_events(events)
+    return None, events, bad
+
+
+def summarize_stats_file(path: str | Path) -> str:
+    """Summarise ``path`` -- a metrics snapshot or a JSONL event log.
+
+    Raises:
+        OSError: ``path`` cannot be read.
+    """
+    return summarize_stats_files([str(path)])
+
+
+def summarize_stats_files(patterns: Sequence[str | Path]) -> str:
+    """Summarise several artifacts (paths or globs) as one report.
+
+    Metrics snapshots merge into a single registry (counters add,
+    histograms combine, gauges last-write-wins in argument order);
+    event logs concatenate before aggregation.  Mixing kinds renders
+    both sections.
+
+    Raises:
+        FileNotFoundError: A pattern matched nothing.
+        OSError: A matched path cannot be read.
+    """
+    paths = expand_paths([str(pattern) for pattern in patterns])
+    merged = MetricsRegistry()
+    snapshots = 0
+    events: list[dict[str, Any]] = []
+    bad = 0
+    for path in paths:
+        snapshot, file_events, file_bad = _sniff(Path(path).read_text())
+        if snapshot is not None:
+            merged.merge(snapshot)
+            snapshots += 1
+        events.extend(file_events)
+        bad += file_bad
+    sections: list[str] = []
+    if snapshots:
+        sections.append(summarize_snapshot(merged.snapshot()))
+    if events or not snapshots:
+        sections.append(summarize_events(events))
+    summary = "\n\n".join(sections)
+    if len(paths) > 1:
+        summary += f"\n\n(merged from {len(paths)} file(s))"
     if bad:
         summary += f"\n\n({bad} unparseable line(s) skipped)"
     return summary

@@ -1,0 +1,143 @@
+"""Follow a live sweep: ``repro tail`` over journal + event files.
+
+A running ``repro all --jobs N --cache-dir D --log-json E`` leaves two
+append-only JSONL streams behind: the checkpoint journal
+(``D/journal.jsonl`` -- task lifecycle) and the event log (``E`` --
+spans, log records, round telemetry, from every worker process).  This
+module renders both as one human-readable feed:
+
+* one pass by default (print what is there now and exit -- scriptable),
+* ``--follow`` to keep polling for appended lines until interrupted,
+
+Partial trailing lines (a writer mid-``write``) are left in the buffer
+until their newline arrives, so a torn line is delayed, never
+mangled.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator, Sequence, TextIO
+
+__all__ = ["format_record", "tail"]
+
+#: Seconds between polls in follow mode.
+POLL_S = 0.5
+
+
+def format_record(record: dict[str, Any]) -> str:
+    """One JSONL record as a human-readable feed line."""
+    if "event" in record:  # journal lifecycle line
+        event = record["event"]
+        parts = [f"journal {event}"]
+        for key in ("task", "experiment", "attempt", "tasks", "failures"):
+            if key in record:
+                parts.append(f"{key}={record[key]}")
+        if record.get("error"):
+            parts.append(f"error={record['error']}")
+        return "  ".join(parts)
+    kind = record.get("kind")
+    if kind == "span":
+        duration = record.get("duration_s")
+        timing = f"{duration:.3f}s" if duration is not None else "?"
+        pid = record.get("pid", "?")
+        return f"span {record.get('name', '?')}  {timing}  pid={pid}"
+    if kind == "log":
+        line = (
+            f"{str(record.get('level', '?')).lower():<8}"
+            f"{record.get('logger', '?')}: {record.get('msg', '')}"
+        )
+        extras = {
+            key: value
+            for key, value in record.items()
+            if key not in ("kind", "ts", "level", "logger", "msg", "pid", "seq", "trace_id")
+        }
+        if extras:
+            line += "  " + " ".join(f"{k}={v}" for k, v in extras.items())
+        return line
+    if kind == "telemetry":
+        return (
+            f"telemetry {record.get('engine', '?')} "
+            f"round={record.get('round')} "
+            f"informed={record.get('informed')}/{record.get('nodes')} "
+            f"delivered={record.get('delivered')} "
+            f"lanes={record.get('lanes_active')}"
+        )
+    return json.dumps(record, default=repr)
+
+
+class _FileCursor:
+    """Incremental reader of whole lines from one append-only file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.offset = 0
+
+    def new_lines(self) -> Iterator[str]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as stream:
+                stream.seek(self.offset)
+                chunk = stream.read()
+        except OSError:
+            return  # not created yet (follow mode) or vanished
+        end = chunk.rfind("\n")
+        if end < 0:
+            return  # only a torn partial line so far
+        self.offset += end + 1
+        for line in chunk[: end + 1].splitlines():
+            line = line.strip()
+            if line:
+                yield line
+
+
+def tail(
+    paths: Sequence[str | Path],
+    *,
+    follow: bool = False,
+    poll_s: float = POLL_S,
+    stream: TextIO,
+    max_polls: int | None = None,
+) -> int:
+    """Render the files' records to ``stream``; returns lines printed.
+
+    Args:
+        paths: Journal and/or JSONL event files.  In one-pass mode each
+            must exist; in follow mode missing files are awaited.
+        follow: Keep polling for appended lines until interrupted.
+        poll_s: Seconds between polls in follow mode.
+        stream: Output stream.
+        max_polls: Follow-mode poll budget (tests); ``None`` is forever.
+
+    Raises:
+        FileNotFoundError: One-pass mode and a path does not exist.
+    """
+    cursors = [_FileCursor(Path(path)) for path in paths]
+    if not follow:
+        for cursor in cursors:
+            if not cursor.path.exists():
+                raise FileNotFoundError(f"no such file: {cursor.path}")
+    printed = 0
+    polls = 0
+    while True:
+        for cursor in cursors:
+            prefix = f"[{cursor.path.name}] " if len(cursors) > 1 else ""
+            for line in cursor.new_lines():
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    stream.write(prefix + format_record(record) + "\n")
+                    printed += 1
+        stream.flush()
+        if not follow:
+            return printed
+        polls += 1
+        if max_polls is not None and polls >= max_polls:
+            return printed
+        try:
+            time.sleep(poll_s)
+        except KeyboardInterrupt:
+            return printed

@@ -20,6 +20,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 import networkx as nx
 
+from repro.obs import telemetry as telemetry_mod
 from repro.obs.logger import get_logger
 from repro.obs.metrics import counter
 from repro.simulation.errors import (
@@ -194,6 +195,9 @@ class SynchronousEngine:
         # strong references so object identities stay stable; mutating a
         # previously served graph between rounds is unsupported.
         self._validated: dict[int, nx.Graph] = {}
+        # Round telemetry config, captured once per run(); None when
+        # disabled, so the per-round guard is one attribute check.
+        self._telemetry: telemetry_mod.Telemetry | None = None
 
     def run(self) -> SimulationResult:
         """Execute rounds until the stop criterion is met.
@@ -209,6 +213,7 @@ class SynchronousEngine:
         expected_nodes = set(range(n))
 
         counter("engine.runs")
+        self._telemetry = telemetry_mod.active()
         if _log.isEnabledFor(logging.DEBUG):
             _log.debug(
                 "run started",
@@ -323,6 +328,8 @@ class SynchronousEngine:
         counter("engine.rounds")
         counter("engine.messages_sent", sent)
         counter("engine.messages_delivered", delivered)
+        if self._telemetry is not None and self._telemetry.wants(round_no):
+            self._emit_telemetry(round_no, graph, sent, delivered)
         if trace.level >= TraceLevel.TOPOLOGY:
             trace.append(
                 RoundRecord(
@@ -345,6 +352,30 @@ class SynchronousEngine:
                     "delivered": delivered,
                 },
             )
+
+    def _emit_telemetry(
+        self, round_no: int, graph: nx.Graph, sent: int, delivered: int
+    ) -> None:
+        """One sampled round record (post-round state; see obs.telemetry)."""
+        informed = 0
+        terminated = 0
+        for process in self.processes:
+            done = process.output() is not None
+            terminated += done
+            informed += bool(getattr(process, "informed", done))
+        self._telemetry.emit(
+            {
+                "engine": "object",
+                "round": round_no,
+                "edges": graph.number_of_edges(),
+                "sent": sent,
+                "delivered": delivered,
+                "informed": informed,
+                "terminated": terminated,
+                "nodes": len(self.processes),
+                "lanes_active": 1,
+            }
+        )
 
     def _stop_criterion_met(self) -> bool:
         stop_when = self.config.stop_when

@@ -43,6 +43,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.networks.csr import AdjacencyCache, CSRAdjacency, StackCache
+from repro.obs import telemetry as telemetry_mod
 from repro.obs.logger import get_logger
 from repro.obs.metrics import counter
 from repro.obs.spans import span
@@ -166,6 +167,16 @@ class VectorizedProtocol(ABC):
     @abstractmethod
     def output_mask(self) -> np.ndarray:
         """Boolean per node: has the node committed an output?"""
+
+    def informed_mask(self) -> np.ndarray:
+        """Boolean per node: is the node informed? (round telemetry).
+
+        Protocols with an explicit informed-set notion (flooding,
+        dissemination) override this; the default equates "informed"
+        with "committed an output", mirroring the object engine's
+        fallback for processes without an ``informed`` attribute.
+        """
+        return self.output_mask()
 
     @abstractmethod
     def outputs_for(self, layout: LaneLayout) -> dict[int, Any]:
@@ -309,6 +320,7 @@ class FastEngine:
         config = self.config
         counter("engine.fast.batches")
         counter("engine.runs", len(self.lanes))
+        telemetry = telemetry_mod.active()
         self.protocol.allocate(self.layouts)
         rounds_done = np.full(len(self.lanes), -1, dtype=np.int64)
         lane_active = np.ones(len(self.lanes), dtype=bool)
@@ -336,17 +348,37 @@ class FastEngine:
                     np.asarray(delivered, dtype=np.int64), self._offsets[:-1]
                 )
                 active_count = int(lane_active.sum())
+                round_sent = int(sent_by_lane[lane_active].sum())
+                round_delivered = int(delivered_by_lane[lane_active].sum())
                 stats["rounds"] += active_count
                 stats["graphs"] += active_count
-                stats["sent"] += int(sent_by_lane[lane_active].sum())
-                stats["delivered"] += int(
-                    delivered_by_lane[lane_active].sum()
-                )
+                stats["sent"] += round_sent
+                stats["delivered"] += round_delivered
                 if self.round_hook is not None:
                     self.round_hook(round_no)
-                newly_done = lane_active & self._lane_done(
-                    self.protocol.output_mask()
-                )
+                mask = self.protocol.output_mask()
+                if telemetry is not None and telemetry.wants(round_no):
+                    # Same post-round semantics as the object engine's
+                    # record; traffic covers the lanes that executed
+                    # the round, edges the whole stacked adjacency.
+                    telemetry.emit(
+                        {
+                            "engine": "fast",
+                            "round": round_no,
+                            "edges": adjacency.edges,
+                            "sent": round_sent,
+                            "delivered": round_delivered,
+                            "informed": int(
+                                np.count_nonzero(
+                                    self.protocol.informed_mask()
+                                )
+                            ),
+                            "terminated": int(np.count_nonzero(mask)),
+                            "nodes": self.total_nodes,
+                            "lanes_active": active_count,
+                        }
+                    )
+                newly_done = lane_active & self._lane_done(mask)
                 rounds_done[newly_done] = round_no + 1
                 lane_active &= ~newly_done
                 if not lane_active.any():

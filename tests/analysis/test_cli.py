@@ -190,6 +190,186 @@ class TestCliObservability:
         assert serial["experiments.run"] == 2
 
 
+class TestCliTelemetry:
+    RUN = ["run", "tab-star-pd1", "--param", "sizes=(2, 5)"]
+
+    def test_telemetry_events_in_log_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main([*self.RUN, "--telemetry", "--log-json", str(path)]) == 0
+        )
+        capsys.readouterr()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        telemetry = [e for e in events if e["kind"] == "telemetry"]
+        assert telemetry
+        for event in telemetry:
+            assert {"round", "informed", "terminated", "pid", "seq"} <= (
+                event.keys()
+            )
+
+    def test_telemetry_every_syntax(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        code = main(
+            [*self.RUN, "--telemetry", "every=2", "--log-json", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        rounds = [e["round"] for e in events if e["kind"] == "telemetry"]
+        assert rounds and all(r % 2 == 0 for r in rounds)
+
+    def test_telemetry_disabled_after_command(self, tmp_path):
+        from repro.obs.telemetry import active
+
+        assert main([*self.RUN, "--telemetry"]) == 0
+        assert active() is None
+
+    def test_bad_telemetry_argument(self):
+        with pytest.raises(SystemExit):
+            main([*self.RUN, "--telemetry", "every=nope"])
+
+
+class TestCliStatsMultiPath:
+    def test_merges_snapshots_and_events(self, tmp_path, capsys):
+        import json
+
+        run = ["run", "tab-star-pd1", "--param", "sizes=(2, 5)"]
+        first = tmp_path / "m1.json"
+        second = tmp_path / "m2.json"
+        events = tmp_path / "events.jsonl"
+        assert main([*run, "--metrics-out", str(first)]) == 0
+        assert (
+            main([*run, "--metrics-out", str(second), "--log-json", str(events)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", str(first), str(second), str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "merged from 3 file(s)" in out
+        # Counters doubled across the two snapshots.
+        merged = [
+            line for line in out.splitlines() if "experiments.run" in line
+        ]
+        assert merged and "2" in merged[0]
+
+    def test_glob_pattern(self, tmp_path, capsys):
+        run = ["run", "tab-star-pd1", "--param", "sizes=(2,)"]
+        assert main([*run, "--metrics-out", str(tmp_path / "w1.json")]) == 0
+        assert main([*run, "--metrics-out", str(tmp_path / "w2.json")]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(tmp_path / "w*.json")]) == 0
+        assert "merged from 2 file(s)" in capsys.readouterr().out
+
+    def test_missing_path_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "absent.json")])
+
+
+class TestCliTrace:
+    def _sweep(self, tmp_path, capsys) -> str:
+        path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "report",
+                str(tmp_path / "report.md"),
+                "--experiment",
+                "tab-star-pd1",
+                "--experiment",
+                "tab-kernel-structure",
+                "--jobs",
+                "2",
+                "--log-json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_trace_renders_single_root_tree(self, tmp_path, capsys):
+        """Acceptance: a --jobs 2 sweep stitches to one span tree."""
+        events = self._sweep(tmp_path, capsys)
+        assert main(["trace", events]) == 0
+        out = capsys.readouterr().out
+        assert "1 root(s)" in out
+        assert "sweep.run" in out
+        assert "experiment.run" in out
+
+    def test_trace_flame_output(self, tmp_path, capsys):
+        events = self._sweep(tmp_path, capsys)
+        assert main(["trace", events, "--flame"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.run;experiment.run" in out
+
+    def test_trace_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", str(tmp_path / "absent.jsonl")])
+
+
+class TestCliTail:
+    def test_tail_renders_journal_and_events(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "run",
+                "tab-star-pd1",
+                "--param",
+                "sizes=(2, 5)",
+                "--cache-dir",
+                str(cache_dir),
+                "--telemetry",
+                "--log-json",
+                str(events),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        journal = cache_dir / "journal.jsonl"
+        assert main(["tail", str(journal), str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "journal completed" in out
+        assert "telemetry object" in out
+        assert "span experiment.run" in out
+
+    def test_tail_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["tail", str(tmp_path / "absent.jsonl")])
+
+
+class TestCliBenchReport:
+    def test_reports_trajectory(self, tmp_path, capsys):
+        from repro.obs.bench import append_record, make_record
+
+        path = tmp_path / "BENCH_trajectory.json"
+        workloads = {
+            "flooding": [{"n": 64, "object_s": 1.0, "fast_s": 0.1, "speedup": 10.0}]
+        }
+        for speedup in (10.0, 4.0):
+            record = make_record(
+                mode="quick",
+                workloads={
+                    name: [dict(rows[0], speedup=speedup)]
+                    for name, rows in workloads.items()
+                },
+                wall_s=1.0,
+                git_rev="deadbee",
+            )
+            append_record(record, path)
+        assert main(["bench-report", str(path)]) == 1  # 4.0/10.0 < 0.8
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert main(["bench-report", str(path), "--threshold", "0.3"]) == 0
+
+    def test_missing_trajectory_fails(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path / "absent.json")]) == 1
+        assert "no benchmark runs" in capsys.readouterr().out
+
+
 class TestSerialTimeoutWarning:
     def test_hang_fault_in_serial_mode_prints_provenance(self, capsys):
         code = main(

@@ -25,7 +25,8 @@ from repro.analysis.runtime import (
     run_sweep,
 )
 from repro.analysis.runtime.errors import FATAL, RETRYABLE
-from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.analysis.runtime.runner import merge_snapshots_in_task_order
+from repro.obs.metrics import MetricsRegistry, counter, gauge, use_registry
 
 #: A sweep of three distinct tiny tasks (distinct params => distinct
 #: cache/journal keys).
@@ -275,6 +276,10 @@ class TestRunSweepPool:
             if not k.startswith("runtime.")
         }
         assert serial_counters == pool_counters
+        assert (
+            serial_registry.snapshot()["gauges"]
+            == pool_registry.snapshot()["gauges"]
+        )
 
     def test_worker_kill_is_retried(self, tmp_path):
         journal = Journal(tmp_path / "journal.jsonl")
@@ -333,6 +338,49 @@ class TestRunSweepPool:
             )
         text = (tmp_path / "journal.jsonl").read_text()
         assert '"event": "aborted"' in text
+
+
+class TestSnapshotMergeOrder:
+    """Regression: pool gauge merges must not depend on completion order."""
+
+    @staticmethod
+    def _snapshot(task_index: int, value: int) -> tuple[int, dict]:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            counter("merged.tasks")
+            gauge("merged.last", value)
+        return (task_index, registry.snapshot())
+
+    def test_gauges_fold_in_task_order_not_completion_order(self):
+        # Completion order scrambled: task 2 finished first, then 0, 1.
+        snapshots = [
+            self._snapshot(2, 200),
+            self._snapshot(0, 0),
+            self._snapshot(1, 100),
+        ]
+        with use_registry(MetricsRegistry()) as registry:
+            merge_snapshots_in_task_order(snapshots)
+        snapshot = registry.snapshot()
+        # Last-write-wins gauges resolve to the *highest task index*,
+        # whatever order the workers raced in; counters just add.
+        assert snapshot["gauges"]["merged.last"] == 200
+        assert snapshot["counters"]["merged.tasks"] == 3
+
+    def test_pool_gauges_deterministic_and_match_serial(self):
+        requests = REQUESTS + [
+            ExperimentRequest(
+                "tab-kernel-structure",
+                params={"max_round": 3, "sparse_max_round": 4},
+            )
+        ]
+        with use_registry(MetricsRegistry()) as serial_registry:
+            assert run_sweep(requests).passed
+        gauges = serial_registry.snapshot()["gauges"]
+        assert "sparse.nnz" in gauges  # the experiment really sets one
+        for _ in range(2):
+            with use_registry(MetricsRegistry()) as pool_registry:
+                assert run_sweep(requests, jobs=2).passed
+            assert pool_registry.snapshot()["gauges"] == gauges
 
 
 class TestResumeSemantics:

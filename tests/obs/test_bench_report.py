@@ -1,0 +1,144 @@
+"""Tests for the bench trajectory schema and regression report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    append_record,
+    compare_latest,
+    load_trajectory,
+    make_record,
+    render_report,
+)
+
+WORKLOADS = {
+    "flooding (static)": [
+        {"n": 64, "runs": 2, "object_s": 1.0, "fast_s": 0.1, "speedup": 10.0},
+        {"n": 256, "runs": 2, "object_s": 4.0, "fast_s": 0.2, "speedup": 20.0},
+    ],
+    "gossip (static)": [
+        {"n": 256, "runs": 2, "object_s": 2.0, "fast_s": 0.25, "speedup": 8.0},
+    ],
+}
+
+
+def _record(speedup: float, mode: str = "quick") -> dict:
+    workloads = {
+        name: [dict(rows[-1], speedup=speedup)]
+        for name, rows in WORKLOADS.items()
+    }
+    return make_record(
+        mode=mode, workloads=workloads, wall_s=1.0, git_rev="abc1234"
+    )
+
+
+class TestRecord:
+    def test_schema_fields(self):
+        record = make_record(
+            mode="quick", workloads=WORKLOADS, wall_s=12.5, git_rev="abc1234"
+        )
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["mode"] == "quick"
+        assert record["git_rev"] == "abc1234"
+        assert record["wall_s"] == 12.5
+        assert record["recorded_at"] > 0
+        assert record["python"].count(".") == 2
+        # Only the largest size of each workload is summarised.
+        flooding = record["workloads"]["flooding (static)"]
+        assert flooding["n"] == 256
+        assert flooding["speedup"] == 20.0
+
+    def test_git_rev_autodetected_in_repo(self, tmp_path):
+        record = make_record(
+            mode="quick", workloads={}, wall_s=0.0, cwd=str(tmp_path)
+        )
+        assert record["git_rev"] is None  # tmp_path is not a checkout
+
+
+class TestTrajectory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        assert load_trajectory(path) == []
+        assert append_record(_record(10.0), path) == 1
+        assert append_record(_record(11.0), path) == 2
+        runs = load_trajectory(path)
+        assert len(runs) == 2
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert "description" in payload
+
+    def test_load_rejects_non_trajectory(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"counters": {}}')
+        with pytest.raises(ValueError):
+            load_trajectory(path)
+
+    def test_seed_file_parses(self):
+        # The committed scaffold must be a valid (empty) trajectory.
+        from pathlib import Path
+
+        seed = Path(__file__).parents[2] / "benchmarks" / "BENCH_trajectory.json"
+        assert load_trajectory(seed) == []
+
+
+class TestCompare:
+    def test_improvement_is_ok(self):
+        rows, status = compare_latest([_record(10.0), _record(12.0)])
+        assert status == 0
+        assert all(row["verdict"] == "ok" for row in rows)
+
+    def test_regression_flagged(self):
+        rows, status = compare_latest(
+            [_record(10.0), _record(5.0)], threshold=0.8
+        )
+        assert status == 1
+        assert all(row["verdict"] == "REGRESSION" for row in rows)
+        assert rows[0]["ratio"] == pytest.approx(0.5)
+
+    def test_threshold_tolerates_noise(self):
+        _, status = compare_latest([_record(10.0), _record(9.0)], threshold=0.8)
+        assert status == 0
+
+    def test_baseline_must_match_mode(self):
+        runs = [_record(10.0, mode="full"), _record(5.0, mode="quick")]
+        rows, status = compare_latest(runs)
+        assert status == 0  # no same-mode baseline: everything is "new"
+        assert all(row["verdict"] == "new" for row in rows)
+
+    def test_empty(self):
+        assert compare_latest([]) == ([], 0)
+
+
+class TestRenderReport:
+    def test_missing_trajectory(self, tmp_path):
+        text, status = render_report(tmp_path / "nope.json")
+        assert status == 1
+        assert "no benchmark runs" in text
+
+    def test_single_run(self, tmp_path):
+        path = tmp_path / "t.json"
+        append_record(_record(10.0), path)
+        text, status = render_report(path)
+        assert status == 0
+        assert "nothing to diff" in text
+
+    def test_regression_rendered(self, tmp_path):
+        path = tmp_path / "t.json"
+        append_record(_record(10.0), path)
+        append_record(_record(5.0), path)
+        text, status = render_report(path, threshold=0.8)
+        assert status == 1
+        assert "REGRESSION" in text
+        assert "abc1234" in text
+
+    def test_mode_filter(self, tmp_path):
+        path = tmp_path / "t.json"
+        append_record(_record(10.0, mode="full"), path)
+        append_record(_record(5.0, mode="quick"), path)
+        text, status = render_report(path, mode="full")
+        assert status == 0
+        assert "1 run(s)" in text
