@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-dynamic-smoke trace-smoke verify-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke bench-dynamic-smoke bench-scale-smoke shard-smoke trace-smoke verify-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,34 @@ bench-smoke:
 # quick mode.  Results land in benchmarks/results/engine-backend-only.*.
 bench-dynamic-smoke:
 	$(PYTHON) benchmarks/bench_engine.py --quick --only "fresh graph"
+
+# Streaming-scale gate: the quick grid plus the tracemalloc proof that
+# a chunked run's peak allocation tracks --max-lane-nodes, not the
+# grid ("Scaling past one machine" in docs/PERFORMANCE.md).
+bench-scale-smoke:
+	$(PYTHON) benchmarks/bench_scale.py --quick
+
+# Sharded-sweep smoke: the same report split as two disjoint shards
+# with separate caches, journals folded by `repro merge-journals`,
+# then a combined --resume that must re-execute nothing.
+shard-smoke:
+	@rm -rf .shard-a .shard-b .shard-merged .shard-report.md .shard-metrics.json
+	$(PYTHON) -m repro report .shard-report.md $(SMOKE_EXPERIMENTS) \
+		--cache-dir .shard-a --shard 0/2
+	$(PYTHON) -m repro report .shard-report.md $(SMOKE_EXPERIMENTS) \
+		--cache-dir .shard-b --shard 1/2
+	@mkdir -p .shard-merged
+	@cp .shard-a/*.json .shard-merged/ 2>/dev/null; \
+	cp .shard-b/*.json .shard-merged/ 2>/dev/null; true
+	$(PYTHON) -m repro merge-journals .shard-merged/journal.jsonl \
+		.shard-a/journal.jsonl .shard-b/journal.jsonl
+	$(PYTHON) -m repro report .shard-report.md $(SMOKE_EXPERIMENTS) \
+		--cache-dir .shard-merged --resume --metrics-out .shard-metrics.json
+	grep -q "all experiments passed" .shard-report.md
+	$(PYTHON) -c "import json; c = json.load(open('.shard-metrics.json'))['counters']; \
+	assert c['runtime.resume.skipped'] == 4, c; \
+	assert 'experiments.run' not in c, c"
+	@rm -rf .shard-a .shard-b .shard-merged .shard-report.md .shard-metrics.json
 
 # Observability smoke: a --jobs 2 sweep with an injected crash, round
 # telemetry, and a shared JSONL event log must stitch into a single

@@ -62,6 +62,7 @@ def full_report(
     resume: bool = False,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> str:
     """Run experiments (default: all) and render one Markdown document.
 
@@ -83,6 +84,9 @@ def full_report(
         resume: Replay the journal and skip completed tasks.
         policy: Retry/timeout/failure budget for the run.
         faults: Deterministic fault injection (tests/CI only).
+        shard: Optional ``(index, count)`` partition; only the owned
+            subset of the sweep runs (and is reported) here -- see
+            ``--shard`` in ``docs/PERFORMANCE.md``.
 
     The rendered document ends with a *Run provenance* section whenever
     the runtime has something to declare (resume, retries exhausted,
@@ -125,6 +129,7 @@ def full_report(
         resume=resume,
         policy=policy,
         faults=faults,
+        shard=shard,
     )
     sections = [f"# {title}", ""]
     for result in outcome.results:

@@ -28,7 +28,13 @@ from repro.analysis.runtime.errors import (
     classify_error,
 )
 from repro.analysis.runtime.faults import FaultPlan
-from repro.analysis.runtime.journal import Journal, JournalEntry
+from repro.analysis.runtime.journal import (
+    Journal,
+    JournalEntry,
+    merge_journals,
+    parse_shard,
+    shard_of,
+)
 from repro.analysis.runtime.retry import RetryPolicy
 from repro.analysis.runtime.runner import SweepOutcome, run_sweep, timed_run
 
@@ -44,6 +50,9 @@ __all__ = [
     "TaskTimeout",
     "WorkerCrash",
     "classify_error",
+    "merge_journals",
+    "parse_shard",
     "run_sweep",
+    "shard_of",
     "timed_run",
 ]

@@ -24,27 +24,113 @@ so journal and cache can never disagree about identity.
 
 Replay folds lines per task, last event winning; unreadable lines are
 skipped (a torn final write must not poison a resume).
+
+Sharding: because the task key is a deterministic digest of the task's
+identity, a grid spreads across machines by hashing keys into shards
+(:func:`shard_of`, driven by ``--shard i/N``); each machine journals its
+own subset, and :func:`merge_journals` folds the shard journals back
+into one file that ``--resume`` replays as if a single machine had run
+everything.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.obs.logger import get_logger
 
 _log = get_logger("analysis.runtime.journal")
 
-__all__ = ["Journal", "JournalEntry"]
+__all__ = [
+    "Journal",
+    "JournalEntry",
+    "merge_journals",
+    "parse_shard",
+    "shard_of",
+]
 
 #: Task states a replay can land on.
 STARTED = "started"
 COMPLETED = "completed"
 FAILED = "failed"
 RETRYING = "retrying"
+
+
+def shard_of(key: str, count: int) -> int:
+    """Deterministic shard owner of a task key.
+
+    Hashes the journal/cache key (:meth:`Journal.task_key`) with
+    SHA-256 and reduces the first 8 bytes modulo ``count`` -- stable
+    across processes, machines, and Python versions (unlike ``hash()``),
+    so every shard of a sweep agrees on the partition without
+    coordination.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be at least 1, got {count}")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse a ``"i/N"`` shard spec into a validated ``(index, count)``."""
+    index_text, sep, count_text = str(spec).partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like 'i/N' (e.g. '0/4'), got {spec!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"shard count must be at least 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index {index} outside 0..{count - 1} (spec {spec!r})"
+        )
+    return index, count
+
+
+def merge_journals(
+    out_path: str | Path, sources: Iterable[str | Path]
+) -> int:
+    """Merge shard journals into one resumable journal; returns lines kept.
+
+    Records from every source are pooled and stably sorted by their
+    ``ts`` stamp (ties keep source order), reconstructing a plausible
+    global timeline; sweep/aborted markers ride along, and unreadable
+    lines are skipped with a warning, exactly as replay would skip
+    them.  The merged file replays as if one machine had journalled the
+    whole sweep, so ``--resume`` against it skips every task any shard
+    completed.
+    """
+    sources = [Path(source) for source in sources]
+    if not sources:
+        raise ValueError("need at least one journal to merge")
+    records: list[dict[str, Any]] = []
+    for source in sources:
+        for line in source.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                _log.warning(
+                    "skipping unreadable journal line during merge",
+                    extra={"path": str(source)},
+                )
+    records.sort(key=lambda record: record.get("ts", 0.0))
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as stream:
+        for record in records:
+            stream.write(json.dumps(record, default=repr) + "\n")
+    return len(records)
 
 
 @dataclass

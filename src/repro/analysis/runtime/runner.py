@@ -65,6 +65,7 @@ from repro.analysis.runtime.journal import (
     COMPLETED,
     Journal,
     JournalEntry,
+    shard_of,
 )
 from repro.analysis.runtime.retry import RetryPolicy
 from repro.obs.logger import get_logger
@@ -580,6 +581,7 @@ def run_sweep(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     degrade_after: int = 3,
+    shard: tuple[int, int] | None = None,
 ) -> SweepOutcome:
     """Run a sweep of experiment requests fault-tolerantly.
 
@@ -598,10 +600,18 @@ def run_sweep(
         faults: Optional deterministic fault injection (tests/CI only).
         degrade_after: Worker deaths tolerated before finishing the
             sweep serially in-process.
+        shard: Optional ``(index, count)`` partition selector.  Tasks
+            are hashed by journal key into ``count`` deterministic
+            shards (:func:`~repro.analysis.runtime.journal.shard_of`)
+            and only shard ``index`` runs here; ``outcome.results``
+            covers just the owned tasks.  Merge the per-shard journals
+            with ``repro merge-journals`` and ``--resume`` to fold the
+            shards back together.
 
     Returns:
         A :class:`SweepOutcome`; ``outcome.results`` is in request
-        order regardless of completion order, retries, or resume.
+        order regardless of completion order, retries, or resume
+        (restricted to the owned tasks when ``shard`` is set).
 
     Raises:
         KeyError: An unknown experiment id (checked before anything runs).
@@ -632,6 +642,21 @@ def run_sweep(
             )
         )
     outcome = SweepOutcome()
+    if shard is not None:
+        index, count = shard
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index {index} outside 0..{count - 1}"
+            )
+        owned = [
+            task for task in tasks if shard_of(task.key, count) == index
+        ]
+        outcome.provenance.append(
+            f"shard {index}/{count}: owns {len(owned)} of "
+            f"{len(tasks)} task(s)"
+        )
+        counter("runtime.shard.owned", len(owned))
+        tasks = owned
     results: dict[int, ExperimentResult] = {}
     with span("sweep.run", tasks=len(tasks), jobs=jobs, resume=resume):
         _log.info(

@@ -10,7 +10,10 @@ Usage::
     python -m repro all --jobs 4 --cache-dir .repro-cache
     python -m repro all --jobs 4 --cache-dir .repro-cache --resume
     python -m repro all --backend fast --timeout 600 --retries 3
+    python -m repro all --backend fast --jit on --max-lane-nodes 200000
     python -m repro report out/report.md --jobs 4
+    python -m repro all --cache-dir shard-a --shard 0/2
+    python -m repro merge-journals merged.jsonl shard-*/journal.jsonl
     python -m repro run tab-kernel-structure --metrics-out m.json
     python -m repro all --log-level debug --log-json events.jsonl
     python -m repro run tab-star-pd1 --telemetry every=10 --log-json e.jsonl
@@ -46,6 +49,15 @@ Execution options (``run`` / ``all`` / ``report`` share one group):
   number of fatally-failed tasks tolerated before aborting.
 * ``--inject-fault KIND@K`` -- deterministic fault injection for
   testing the above (see ``docs/ROBUSTNESS.md``).
+* ``--max-lane-nodes N`` -- stream the fast backend's lane batches in
+  chunks of at most ``N`` stacked nodes (memory-bounded mega-scale
+  runs; see ``docs/PERFORMANCE.md``).
+* ``--jit {auto,on,off}`` -- use the optional numba-compiled receive
+  kernel for fast-backend matvecs (``auto`` falls back silently when
+  numba is absent, ``on`` warns, ``off`` never compiles).
+* ``--shard I/N`` -- run only the tasks this shard owns (deterministic
+  journal-key hash partition); fold the per-shard journals back with
+  ``repro merge-journals OUT IN...`` and ``--resume``.
 
 Observability (same commands):
 
@@ -242,6 +254,40 @@ def _execution_options() -> argparse.ArgumentParser:
             "first attempt"
         ),
     )
+    group.add_argument(
+        "--max-lane-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fast backend: stream lane batches in chunks of at most N "
+            "stacked nodes instead of materialising one block-diagonal "
+            "stack (results are identical; peak memory is bounded by "
+            "the chunk, see docs/PERFORMANCE.md)"
+        ),
+    )
+    group.add_argument(
+        "--jit",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help=(
+            "fast backend: compile the receive-phase matvec kernel "
+            "with numba when importable ('auto', the default, falls "
+            "back to scipy silently; 'on' warns on fallback; 'off' "
+            "never compiles)"
+        ),
+    )
+    group.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run only the sweep tasks shard I of N owns (deterministic "
+            "journal-key hash partition, stable across machines); "
+            "merge the per-shard journals with `repro merge-journals` "
+            "and --resume to fold shards back together"
+        ),
+    )
     return parent
 
 
@@ -319,6 +365,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--follow",
         action="store_true",
         help="keep polling for appended lines (interrupt to stop)",
+    )
+    merge = commands.add_parser(
+        "merge-journals",
+        help="merge per-shard checkpoint journals into one resumable file",
+    )
+    merge.add_argument("out", help="merged journal to write")
+    merge.add_argument(
+        "sources",
+        nargs="+",
+        help="shard journal files (e.g. shard-*/journal.jsonl)",
     )
     bench_report = commands.add_parser(
         "bench-report",
@@ -413,6 +469,7 @@ def _runtime_setup(args: argparse.Namespace) -> dict[str, Any]:
         Journal,
         ResultCache,
         RetryPolicy,
+        parse_shard,
     )
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -435,6 +492,7 @@ def _runtime_setup(args: argparse.Namespace) -> dict[str, Any]:
         faults = (
             FaultPlan.parse(args.inject_fault) if args.inject_fault else None
         )
+        shard = parse_shard(args.shard) if args.shard else None
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     return {
@@ -443,6 +501,7 @@ def _runtime_setup(args: argparse.Namespace) -> dict[str, Any]:
         "resume": args.resume,
         "policy": policy,
         "faults": faults,
+        "shard": shard,
     }
 
 
@@ -514,6 +573,14 @@ def _execute(args: argparse.Namespace) -> int:
             jobs=args.jobs if args.jobs > 1 else None,
         )
         outcome = run_sweep([request], jobs=1, **runtime)
+        if not outcome.results:  # the task belongs to another shard
+            print(
+                f"experiment {args.experiment!r} is not owned by "
+                f"--shard {args.shard}; nothing ran"
+            )
+            for line in outcome.provenance:
+                print(f"provenance: {line}")
+            return 0
         result = outcome.results[0]
         print(result.render())
         for line in outcome.provenance:
@@ -601,6 +668,18 @@ def main(argv: list[str] | None = None) -> int:
         except (KeyboardInterrupt, BrokenPipeError):
             pass  # interrupted follow / output piped into `head`
         return 0
+    if args.command == "merge-journals":
+        from repro.analysis.runtime import merge_journals
+
+        try:
+            lines = merge_journals(args.out, args.sources)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+        print(
+            f"merged {len(args.sources)} journal(s), {lines} line(s), "
+            f"into {args.out}"
+        )
+        return 0
     if args.command == "bench-report":
         from repro.obs.bench import render_report
 
@@ -636,6 +715,23 @@ def main(argv: list[str] | None = None) -> int:
                 stack.enter_context(
                     telemetry_mod.telemetry_enabled(telemetry_every)
                 )
+            # `verify` shares the observability group only, so the
+            # execution flags default via getattr.
+            max_lane_nodes = getattr(args, "max_lane_nodes", None)
+            if max_lane_nodes is not None:
+                from repro.simulation import fast as fast_mod
+
+                try:
+                    stack.enter_context(
+                        fast_mod.lane_budget_enabled(max_lane_nodes)
+                    )
+                except ValueError as exc:
+                    raise SystemExit(str(exc)) from exc
+            jit_mode = getattr(args, "jit", None)
+            if jit_mode is not None:
+                from repro.simulation import jit as jit_mod
+
+                stack.enter_context(jit_mod.jit_enabled(jit_mode))
             try:
                 return _execute(args)
             finally:

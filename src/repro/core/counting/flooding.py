@@ -109,6 +109,9 @@ class VectorizedFlood(VectorizedProtocol):
             if self.informed[layout.offset + index]
         }
 
+    def subset(self, indices: Sequence[int]) -> "VectorizedFlood":
+        return VectorizedFlood([self._sources[i] for i in indices])
+
 
 def flood_time_via_protocol(
     network: DynamicGraph,
@@ -116,6 +119,7 @@ def flood_time_via_protocol(
     *,
     max_rounds: int = 10_000,
     backend: str = "object",
+    max_lane_nodes: int | None = None,
 ) -> int:
     """Rounds for a flood from ``source`` to inform all nodes (engine run).
 
@@ -129,11 +133,15 @@ def flood_time_via_protocol(
         source: The initially informed node.
         max_rounds: Engine round budget.
         backend: ``"object"`` or ``"fast"``; both count the same rounds.
+        max_lane_nodes: Fast-backend streaming budget (see
+            :class:`~repro.simulation.fast.FastEngine`).
     """
     resolve_backend(backend)
     if backend == "fast":
         return flood_times_batch(
-            [(network, source)], max_rounds=max_rounds
+            [(network, source)],
+            max_rounds=max_rounds,
+            max_lane_nodes=max_lane_nodes,
         )[0]
     processes = [FloodProcess(index == source) for index in range(network.n)]
     engine = SynchronousEngine(
@@ -149,6 +157,7 @@ def flood_times_batch(
     jobs: Sequence[tuple[DynamicGraph, int]],
     *,
     max_rounds: int = 10_000,
+    max_lane_nodes: int | None = None,
 ) -> list[int]:
     """Flood completion times for many independent networks at once.
 
@@ -166,5 +175,6 @@ def flood_times_batch(
         VectorizedFlood([source for _, source in jobs]),
         lanes,
         config=EngineConfig(max_rounds=max_rounds, stop_when="all"),
+        max_lane_nodes=max_lane_nodes,
     )
     return [result.rounds for result in engine.run()]

@@ -131,6 +131,19 @@ class VectorizedPushSum(VectorizedProtocol):
     def outputs_for(self, layout: LaneLayout) -> dict[int, float]:
         return {}
 
+    def subset(self, indices: Sequence[int]) -> "VectorizedPushSum":
+        return VectorizedPushSum()
+
+    def absorb(
+        self, sub: "VectorizedPushSum", indices: Sequence[int]
+    ) -> None:
+        # Chunks arrive in ascending lane order, so extending keeps the
+        # estimate curves aligned with their batch-level lane indices.
+        for local, index in enumerate(indices):
+            while len(self.estimates) <= index:
+                self.estimates.append([])
+            self.estimates[index] = sub.estimates[local]
+
 
 def gossip_size_estimates(
     topology: TopologyProvider,
@@ -139,6 +152,7 @@ def gossip_size_estimates(
     *,
     leader: int = 0,
     backend: str = "object",
+    max_lane_nodes: int | None = None,
 ) -> list[float]:
     """Run push-sum for ``rounds`` rounds, returning the leader's estimates.
 
@@ -157,7 +171,10 @@ def gossip_size_estimates(
     resolve_backend(backend)
     if backend == "fast":
         return gossip_size_estimates_batch(
-            [(topology, n)], rounds, leader=leader
+            [(topology, n)],
+            rounds,
+            leader=leader,
+            max_lane_nodes=max_lane_nodes,
         )[0]
     processes = [PushSumProcess(index == leader) for index in range(n)]
     estimates: list[float] = []
@@ -186,6 +203,7 @@ def gossip_size_estimates_batch(
     rounds: int,
     *,
     leader: int = 0,
+    max_lane_nodes: int | None = None,
 ) -> list[list[float]]:
     """Leader estimate curves for many push-sum runs, fused into one batch.
 
@@ -203,6 +221,7 @@ def gossip_size_estimates_batch(
         protocol,
         lanes,
         config=EngineConfig(max_rounds=rounds, stop_when="budget"),
+        max_lane_nodes=max_lane_nodes,
     )
     engine.run()
     return [list(curve) for curve in protocol.estimates]

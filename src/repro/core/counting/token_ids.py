@@ -131,6 +131,11 @@ class VectorizedIdFlood(VectorizedProtocol):
             for index in range(layout.n)
         }
 
+    def subset(self, indices: Sequence[int]) -> "VectorizedIdFlood":
+        # The chunk-local known matrix narrows to the chunk's widest
+        # lane; outputs only ever read a lane's own columns.
+        return VectorizedIdFlood([self._horizons[i] for i in indices])
+
 
 def count_with_ids(
     network: DynamicGraph,
@@ -138,6 +143,7 @@ def count_with_ids(
     *,
     leader: int = 0,
     backend: str = "object",
+    max_lane_nodes: int | None = None,
 ) -> CountingOutcome:
     """Count a dynamic network *with identifiers* in ``horizon`` rounds.
 
@@ -152,7 +158,11 @@ def count_with_ids(
     """
     resolve_backend(backend)
     if backend == "fast":
-        return count_with_ids_batch([(network, horizon)], leader=leader)[0]
+        return count_with_ids_batch(
+            [(network, horizon)],
+            leader=leader,
+            max_lane_nodes=max_lane_nodes,
+        )[0]
     processes = [IdFloodProcess(index, horizon) for index in range(network.n)]
     engine = SynchronousEngine(
         processes,
@@ -173,6 +183,7 @@ def count_with_ids_batch(
     jobs: Sequence[tuple[DynamicGraph, int]],
     *,
     leader: int = 0,
+    max_lane_nodes: int | None = None,
 ) -> list[CountingOutcome]:
     """With-IDs counts for many networks, fused into one fast batch.
 
@@ -192,6 +203,7 @@ def count_with_ids_batch(
             max_rounds=max(horizon for _, horizon in jobs) + 1,
             stop_when="leader",
         ),
+        max_lane_nodes=max_lane_nodes,
     )
     return [
         CountingOutcome(

@@ -174,6 +174,20 @@ class VectorizedTokenFlood(VectorizedProtocol):
         full = self.known[rows].sum(axis=1) == self._required[rows]
         return {index: True for index in range(layout.n) if full[index]}
 
+    def subset(self, indices: Sequence[int]) -> "VectorizedTokenFlood":
+        return VectorizedTokenFlood(
+            [self._assignments[i] for i in indices],
+            [self._token_counts[i] for i in indices],
+        )
+
+    def absorb(
+        self, sub: "VectorizedTokenFlood", indices: Sequence[int]
+    ) -> None:
+        for local, index in enumerate(indices):
+            while len(self.messages) <= index:
+                self.messages.append(0)
+            self.messages[index] = sub.messages[local]
+
 
 def disseminate_by_flooding(
     network: DynamicGraph,
@@ -181,6 +195,7 @@ def disseminate_by_flooding(
     *,
     max_rounds: int = 10_000,
     backend: str = "object",
+    max_lane_nodes: int | None = None,
 ) -> DisseminationResult:
     """Disseminate by flooding (the paper's-model trivial algorithm).
 
@@ -197,7 +212,9 @@ def disseminate_by_flooding(
     resolve_backend(backend)
     if backend == "fast":
         return disseminate_by_flooding_batch(
-            [(network, assignment)], max_rounds=max_rounds
+            [(network, assignment)],
+            max_rounds=max_rounds,
+            max_lane_nodes=max_lane_nodes,
         )[0]
     tokens = _validate_assignment(network, assignment)
     processes = [
@@ -225,6 +242,7 @@ def disseminate_by_flooding_batch(
     jobs: Sequence[tuple[DynamicGraph, dict[int, int]]],
     *,
     max_rounds: int = 10_000,
+    max_lane_nodes: int | None = None,
 ) -> list[DisseminationResult]:
     """Flood-dissemination over many networks, fused into one fast batch.
 
@@ -246,6 +264,7 @@ def disseminate_by_flooding_batch(
         protocol,
         lanes,
         config=EngineConfig(max_rounds=max_rounds, stop_when="all"),
+        max_lane_nodes=max_lane_nodes,
     )
     return [
         DisseminationResult(

@@ -32,6 +32,18 @@ Both caches are *bounded* (LRU): a fresh-graph-per-round workload used
 to retain one lowered graph + CSR matrix per executed round for the
 cache's lifetime; evictions are observable through the
 ``adjacency.cache_evictions`` / ``adjacency.stack_evictions`` counters.
+
+Index dtype policy: every adjacency built here routes its CSR index
+arrays through :func:`index_dtype_for` -- ``int32`` while every index
+value (node count *and* stored entry count) fits, ``int64`` otherwise.
+On mega-scale lanes this halves the adjacency index memory; the dedup
+key arithmetic in :func:`csr_from_edges` always runs in ``int64`` so
+the narrower storage dtype can never overflow intermediate products.
+
+A compiled receive-phase kernel may be installed process-wide with
+:func:`set_matvec_kernel` (see :mod:`repro.simulation.jit`);
+:meth:`CSRAdjacency.matvec` consults it for the 1-D float64 hot path
+and otherwise falls back to the scipy matvec.
 """
 
 from __future__ import annotations
@@ -54,7 +66,10 @@ __all__ = [
     "LRUCache",
     "csr_from_edges",
     "graph_from_edges",
+    "index_dtype_for",
     "lower_graph",
+    "matvec_kernel",
+    "set_matvec_kernel",
     "stack_adjacencies",
     "validate_edge_arrays",
 ]
@@ -67,6 +82,56 @@ DEFAULT_ADJACENCY_CACHE_SIZE = 128
 #: Default LRU capacity of :class:`StackCache`.  Lane combinations
 #: change at most once per round, so a handful of entries suffice.
 DEFAULT_STACK_CACHE_SIZE = 32
+
+#: First value that no longer fits an ``int32`` index.
+INT32_LIMIT = 2**31
+
+
+def index_dtype_for(n: int) -> np.dtype:
+    """The narrowest index dtype able to hold values in ``[-1, n]``.
+
+    The single dtype-policy chokepoint for every CSR index array,
+    lane-offset array, and engine accumulator: ``int32`` while ``n``
+    fits (halving index memory on mega-scale lanes), ``int64`` past
+    ``2**31 - 1``.  Callers must size ``n`` to the *largest value
+    stored* -- for a CSR matrix that is ``max(n_nodes, nnz)`` because
+    ``indptr`` ends at ``nnz``.
+    """
+    return np.dtype(np.int32 if n < INT32_LIMIT else np.int64)
+
+
+def _with_index_dtype(matrix: sp.csr_array) -> sp.csr_array:
+    """Normalize a CSR matrix's index arrays to the policy dtype."""
+    dtype = index_dtype_for(max(int(matrix.shape[0]), int(matrix.nnz)))
+    if matrix.indices.dtype == dtype and matrix.indptr.dtype == dtype:
+        return matrix
+    return sp.csr_array(
+        (
+            matrix.data,
+            matrix.indices.astype(dtype),
+            matrix.indptr.astype(dtype),
+        ),
+        shape=matrix.shape,
+    )
+
+
+#: Optional compiled receive-phase kernel, installed process-wide by
+#: :mod:`repro.simulation.jit`.  Signature:
+#: ``kernel(indptr, indices, x, out)`` summing ``x`` over each row's
+#: neighbours into ``out`` (unit edge weights are a class invariant of
+#: every adjacency built by this module).
+_MATVEC_KERNEL = None
+
+
+def set_matvec_kernel(kernel) -> None:
+    """Install (or clear, with ``None``) the compiled matvec kernel."""
+    global _MATVEC_KERNEL
+    _MATVEC_KERNEL = kernel
+
+
+def matvec_kernel():
+    """The currently installed compiled matvec kernel, if any."""
+    return _MATVEC_KERNEL
 
 
 class CSRAdjacency:
@@ -107,7 +172,24 @@ class CSRAdjacency:
         return int(self.matrix.nnz) // 2
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``A @ x``: per-node sum of the neighbours' values."""
+        """``A @ x``: per-node sum of the neighbours' values.
+
+        Dispatches to the compiled receive-phase kernel when one is
+        installed (:func:`set_matvec_kernel`) and ``x`` is the 1-D
+        float64 hot path; otherwise the scipy matvec.  Both paths sum
+        neighbour values in CSR index order, so results are identical.
+        """
+        kernel = _MATVEC_KERNEL
+        if kernel is not None and x.ndim == 1 and x.dtype == np.float64:
+            out = np.empty(self.n, dtype=np.float64)
+            kernel(
+                self.matrix.indptr,
+                self.matrix.indices,
+                np.ascontiguousarray(x),
+                out,
+            )
+            counter("adjacency.jit_matvecs")
+            return out
         return self.matrix @ x
 
     def matmul(self, X: np.ndarray) -> np.ndarray:
@@ -156,8 +238,10 @@ def lower_graph(graph: nx.Graph, *, n: int | None = None) -> CSRAdjacency:
             f"self-loop at node(s) {sorted(loops)[:10]}; a process is "
             "never its own neighbour"
         )
-    matrix = nx.to_scipy_sparse_array(
-        graph, nodelist=range(expected), dtype=np.float64, format="csr"
+    matrix = _with_index_dtype(
+        nx.to_scipy_sparse_array(
+            graph, nodelist=range(expected), dtype=np.float64, format="csr"
+        )
     )
     if expected <= 1:
         connected = True
@@ -179,12 +263,15 @@ def validate_edge_arrays(
 
     The array analogue of the checks :func:`lower_graph` performs on an
     ``nx.Graph``: endpoints must lie in ``{0..n-1}`` and no edge may be
-    a self-loop.  Returns the arrays coerced to 1-D ``int64``.
+    a self-loop.  Returns the arrays coerced to 1-D
+    ``index_dtype_for(n)`` (``int32`` for every realistic ``n``).
 
     Raises:
         TopologyError: Endpoint out of range, self-loop, or shape
             mismatch between the two arrays.
     """
+    # Validate in int64 (narrowing first would wrap out-of-range
+    # endpoints past the range check), store in the policy dtype.
     u = np.asarray(u, dtype=np.int64).reshape(-1)
     v = np.asarray(v, dtype=np.int64).reshape(-1)
     if u.shape != v.shape:
@@ -206,7 +293,8 @@ def validate_edge_arrays(
                 f"self-loop at node(s) {where}; a process is never its "
                 "own neighbour"
             )
-    return u, v
+    dtype = index_dtype_for(n)
+    return u.astype(dtype, copy=False), v.astype(dtype, copy=False)
 
 
 def csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> CSRAdjacency:
@@ -228,15 +316,21 @@ def csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> CSRAdjacency:
     """
     u, v = validate_edge_arrays(n, u, v)
     # Canonicalize to (min, max) pairs, dedupe via the scalar pair key.
-    a = np.minimum(u, v)
-    b = np.maximum(u, v)
+    # Key arithmetic stays in int64 regardless of the storage dtype:
+    # ``a * n + b`` reaches ~n^2, which overflows int32 from n ~ 46341.
+    a = np.minimum(u, v).astype(np.int64, copy=False)
+    b = np.maximum(u, v).astype(np.int64, copy=False)
     keys = np.unique(a * np.int64(n) + b)
     a = keys // n
     b = keys % n
-    rows = np.concatenate([a, b])
-    cols = np.concatenate([b, a])
-    matrix = sp.csr_array(
-        (np.ones(rows.size, dtype=np.float64), (rows, cols)), shape=(n, n)
+    dtype = index_dtype_for(n)
+    rows = np.concatenate([a, b]).astype(dtype, copy=False)
+    cols = np.concatenate([b, a]).astype(dtype, copy=False)
+    matrix = _with_index_dtype(
+        sp.csr_array(
+            (np.ones(rows.size, dtype=np.float64), (rows, cols)),
+            shape=(n, n),
+        )
     )
     if n <= 1:
         connected = True
@@ -358,7 +452,9 @@ def stack_adjacencies(parts: Sequence[CSRAdjacency]) -> CSRAdjacency:
         return parts[0]
     matrix = sp.block_diag([part.matrix for part in parts], format="csr")
     counter("adjacency.stack_builds")
-    return CSRAdjacency(sp.csr_array(matrix), connected=None)
+    return CSRAdjacency(
+        _with_index_dtype(sp.csr_array(matrix)), connected=None
+    )
 
 
 class StackCache:

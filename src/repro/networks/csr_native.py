@@ -50,6 +50,7 @@ from repro.networks.csr import (
     LRUCache,
     csr_from_edges,
     graph_from_edges,
+    index_dtype_for,
     validate_edge_arrays,
 )
 from repro.networks.dynamic_graph import DynamicGraph
@@ -241,19 +242,27 @@ def precompile_schedule(
             u, v = pairs[:, 0], pairs[:, 1]
         per_round.append(validate_edge_arrays(n, u, v))
 
-    # One stacked edge store: contiguous (u, v) arrays sliced per round.
+    # One stacked edge store: contiguous (u, v) arrays sliced per round,
+    # held in the policy index dtype (int32 until n reaches 2**31, with
+    # offsets sized to the *total* stacked edge count).
     offsets = np.concatenate(
         ([0], np.cumsum([u.size for u, _ in per_round]))
-    ).astype(np.int64)
+    )
+    offsets = offsets.astype(index_dtype_for(int(offsets[-1])))
+    edge_dtype = index_dtype_for(n)
     u_all = (
-        np.concatenate([u for u, _ in per_round])
+        np.concatenate([u for u, _ in per_round]).astype(
+            edge_dtype, copy=False
+        )
         if offsets[-1]
-        else np.empty(0, dtype=np.int64)
+        else np.empty(0, dtype=edge_dtype)
     )
     v_all = (
-        np.concatenate([v for _, v in per_round])
+        np.concatenate([v for _, v in per_round]).astype(
+            edge_dtype, copy=False
+        )
         if offsets[-1]
-        else np.empty(0, dtype=np.int64)
+        else np.empty(0, dtype=edge_dtype)
     )
 
     def round_key(round_no: int) -> int:

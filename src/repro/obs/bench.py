@@ -218,15 +218,22 @@ def render_report(
 ) -> tuple[str, int]:
     """The ``repro bench-report`` text: trajectory tail plus the diff.
 
-    Returns ``(text, status)``; status 1 means a regression (or an
-    empty/missing trajectory, which a CI gate should also notice).
+    Returns ``(text, status)``; status 1 means a regression.  An empty
+    or missing trajectory is a clean "nothing recorded yet" (status 0):
+    a fresh checkout has no performance history to regress against, and
+    the message says how to record the first run.
     """
     runs = load_trajectory(path)
     if mode is not None:
         runs = [run for run in runs if run.get("mode") == mode]
     if not runs:
         scope = f" (mode={mode})" if mode else ""
-        return f"no benchmark runs recorded in {path}{scope}", 1
+        return (
+            f"no benchmark runs recorded in {path}{scope}; run "
+            f"`python benchmarks/bench_engine.py` (or `make bench`) to "
+            f"append the first record",
+            0,
+        )
     lines = [f"benchmark trajectory: {len(runs)} run(s) in {path}", ""]
     for run in runs[-5:]:
         workloads = run.get("workloads", {})

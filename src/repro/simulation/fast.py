@@ -24,6 +24,17 @@ path that compiles a round into array operations.
 * Many independent runs (seeds x sizes of a sweep point) are stacked
   block-diagonally into *lanes* of one :class:`FastEngine`, so a batch
   advances with a single fused matvec per round.
+* Batches larger than a node budget *stream*: with ``max_lane_nodes``
+  set (engine argument, :func:`lane_budget_enabled` context, or the
+  ``--max-lane-nodes`` CLI flag), lanes are partitioned into contiguous
+  chunks under the budget, each chunk runs to completion through the
+  same matvec loop, and results, ``engine.*`` counters, and telemetry
+  trajectories fold losslessly -- a chunked run is indistinguishable
+  from the monolithic single-stack run except in peak memory, which is
+  bounded by the chunk budget instead of the whole grid.  Chunking
+  requires the protocol to implement
+  :meth:`VectorizedProtocol.subset` / :meth:`~VectorizedProtocol.absorb`
+  (all built-in protocols do).
 
 The object engine remains the semantics oracle: round counts, outputs,
 stop-criterion behaviour, and the ``engine.*`` counters of a fast run
@@ -32,17 +43,31 @@ test suite differential-tests exactly that (floating-point protocols
 match to within accumulation order).  The fast path intentionally does
 not support tracing -- re-run on the object engine to inspect a
 round-by-round trace.
+
+Known chunking caveats (documented divergences, both outside the
+differential contract): ``round_hook`` fires once per chunk per round
+rather than once per global round, and a lane's topology is only
+evaluated for the rounds its chunk executes (plus sampled telemetry
+rounds), so a graph that turns invalid *after* every lane of its chunk
+terminated is not observed the way the monolithic stack -- which keeps
+stacking finished lanes -- would observe it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.networks.csr import AdjacencyCache, CSRAdjacency, StackCache
+from repro.networks.csr import (
+    AdjacencyCache,
+    CSRAdjacency,
+    StackCache,
+    index_dtype_for,
+)
 from repro.obs import telemetry as telemetry_mod
 from repro.obs.logger import get_logger
 from repro.obs.metrics import counter
@@ -59,6 +84,9 @@ __all__ = [
     "FastLane",
     "LaneLayout",
     "VectorizedProtocol",
+    "active_lane_budget",
+    "lane_budget_enabled",
+    "partition_lanes",
     "resolve_backend",
 ]
 
@@ -74,6 +102,67 @@ def resolve_backend(backend: str) -> str:
             f"backend must be one of {BACKENDS}, got {backend!r}"
         )
     return backend
+
+
+# -- ambient lane budget -----------------------------------------------
+
+#: Process-wide default for ``FastEngine(max_lane_nodes=...)``; set by
+#: the ``--max-lane-nodes`` CLI flag through :func:`lane_budget_enabled`.
+#: Sweep workers inherit it through process forking on POSIX start
+#: methods, so one flag bounds every engine of a sweep.
+_lane_budget: int | None = None
+
+
+def active_lane_budget() -> int | None:
+    """The ambient streaming budget (nodes per chunk), if any."""
+    return _lane_budget
+
+
+def _validate_budget(max_lane_nodes: int) -> int:
+    value = int(max_lane_nodes)
+    if value < 1:
+        raise ValueError(
+            f"max_lane_nodes must be at least 1, got {max_lane_nodes!r}"
+        )
+    return value
+
+
+@contextmanager
+def lane_budget_enabled(max_lane_nodes: int) -> Iterator[int]:
+    """Scoped ambient lane budget; restores the previous value."""
+    global _lane_budget
+    previous = _lane_budget
+    _lane_budget = _validate_budget(max_lane_nodes)
+    try:
+        yield _lane_budget
+    finally:
+        _lane_budget = previous
+
+
+def partition_lanes(
+    sizes: Sequence[int], max_lane_nodes: int | None
+) -> list[tuple[int, int]]:
+    """Greedy contiguous ``[start, stop)`` chunks under the node budget.
+
+    Each chunk's total node count stays at or below ``max_lane_nodes``
+    except when a single lane alone exceeds the budget, in which case
+    that lane forms its own (oversized) chunk -- the partition is always
+    exhaustive and order-preserving.  ``None`` means no budget: one
+    chunk covering everything (the monolithic stack).
+    """
+    if max_lane_nodes is None:
+        return [(0, len(sizes))]
+    budget = _validate_budget(max_lane_nodes)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    load = 0
+    for index, size in enumerate(sizes):
+        if index > start and load + int(size) > budget:
+            chunks.append((start, index))
+            start, load = index, 0
+        load += int(size)
+    chunks.append((start, len(sizes)))
+    return chunks
 
 
 @dataclass(frozen=True)
@@ -101,10 +190,11 @@ class LaneLayout:
     """Where a lane's nodes live on the stacked node axis.
 
     Attributes:
-        index: Lane position in the batch.
-        offset: First global node index of the lane.
+        index: Lane position in the batch (chunk-local under streaming).
+        offset: First stacked node index of the lane.
         n: Lane size; the lane spans ``[offset, offset + n)``.
-        leader: Global index of the lane's leader (``None`` if leaderless).
+        leader: Stacked index of the lane's leader (``None`` if
+            leaderless).
     """
 
     index: int
@@ -114,7 +204,7 @@ class LaneLayout:
 
     @property
     def stop(self) -> int:
-        """One past the lane's last global node index."""
+        """One past the lane's last stacked node index."""
         return self.offset + self.n
 
 
@@ -135,6 +225,15 @@ class VectorizedProtocol(ABC):
     once a lane's stop criterion holds, further steps must not change
     that lane's outputs (every protocol here is monotone or commits its
     output exactly once, so this holds by construction).
+
+    Under a streaming budget (``max_lane_nodes``) the engine runs lane
+    chunks through *fresh sub-protocols*: :meth:`subset` builds an
+    unallocated clone covering a contiguous slice of lanes, the chunk
+    runs to completion, lane results are extracted from the clone, and
+    :meth:`absorb` folds any per-lane side products (push-sum estimate
+    trails, dissemination message totals) back into the parent.  The
+    defaults make chunking opt-in per protocol: ``subset`` raises, and
+    ``absorb`` is a no-op.
     """
 
     @abstractmethod
@@ -182,73 +281,84 @@ class VectorizedProtocol(ABC):
     def outputs_for(self, layout: LaneLayout) -> dict[int, Any]:
         """Outputs of one lane, keyed by lane-local node index."""
 
+    def subset(self, indices: Sequence[int]) -> "VectorizedProtocol":
+        """A fresh, unallocated protocol covering lanes ``indices``.
 
-class FastEngine:
-    """Drive a :class:`VectorizedProtocol` over batched lanes.
+        ``indices`` is a contiguous ascending slice of the batch's lane
+        indices.  The engine allocates the returned protocol with
+        chunk-local layouts, so implementations only re-slice their
+        per-lane constructor arguments.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support streaming chunks; "
+            "implement subset()/absorb() or run without max_lane_nodes"
+        )
 
-    Semantics mirror :class:`~repro.simulation.engine.SynchronousEngine`
-    per lane: the same stop criteria (``leader``/``all``/``any``/
-    ``budget``), the same round accounting (a lane's terminal round is
-    executed in full), the same :class:`TerminationError` on budget
-    exhaustion, and the same per-round validation rules -- performed
-    once per distinct graph object through the adjacency cache.
+    def absorb(self, sub: "VectorizedProtocol", indices: Sequence[int]) -> None:
+        """Fold a finished chunk's per-lane side products back in.
 
-    Args:
-        protocol: The vectorized protocol instance (one per engine).
-        lanes: The independent runs to stack; a single lane is the
-            un-batched case.
-        config: Engine configuration (``trace_level`` must be ``NONE``:
-            the fast path records no traces).
+        Called once per chunk, in ascending chunk order, with the
+        sub-protocol returned by :meth:`subset` after its lanes ran to
+        completion.  The default is a no-op: protocols whose entire
+        observable output flows through :meth:`outputs_for` need
+        nothing here.
+        """
 
-    Example:
-        >>> from repro.core.counting.star import VectorizedStar
-        >>> from repro.networks.generators.stars import star_network
-        >>> engine = FastEngine(
-        ...     VectorizedStar(),
-        ...     [FastLane(star_network(5), 5, leader=0)],
-        ...     config=EngineConfig(max_rounds=4),
-        ... )
-        >>> engine.run()[0].leader_output
-        5
+
+@dataclass
+class _BlockOutcome:
+    """What one streamed chunk reports back to the engine."""
+
+    stats: dict[str, int]
+    rounds_done: np.ndarray
+    stuck: list[int]
+    rounds_executed: int
+    records: dict[int, dict[str, int]] = field(default_factory=dict)
+    final_informed: int = 0
+    final_terminated: int = 0
+
+
+#: Additive telemetry fields merged across chunks (``round`` keys the
+#: record, ``engine``/``nodes`` are batch-level).
+_TELEMETRY_KEYS = (
+    "edges",
+    "sent",
+    "delivered",
+    "informed",
+    "terminated",
+    "lanes_active",
+)
+
+
+class _LaneBlock:
+    """One contiguous chunk of lanes, executed to completion.
+
+    Owns the chunk-local layouts (rebased to offset 0), adjacency
+    caches, and the matvec loop.  The monolithic run is the one-block
+    special case, so chunked and single-stack executions share every
+    line of the hot loop.
     """
 
     def __init__(
-        self,
-        protocol: VectorizedProtocol,
-        lanes: Sequence[FastLane],
-        *,
-        config: EngineConfig | None = None,
-        round_hook: Callable[[int], None] | None = None,
+        self, lanes: Sequence[FastLane], config: EngineConfig
     ) -> None:
-        if not lanes:
-            raise ValueError("need at least one lane")
-        self.config = config or EngineConfig()
-        if self.config.trace_level != TraceLevel.NONE:
-            raise ValueError(
-                "the fast backend does not record traces; run the object "
-                "engine (backend='object') to trace an execution"
-            )
-        self.protocol = protocol
         self.lanes = list(lanes)
-        self.round_hook = round_hook
+        self.config = config
         offsets = np.concatenate(
             ([0], np.cumsum([lane.n for lane in self.lanes]))
-        ).astype(np.int64)
+        )
+        self.total_nodes = int(offsets[-1])
+        # Dtype policy: lane offsets and per-lane sent counts fit the
+        # node-count dtype; per-lane delivered counts can reach ~n^2
+        # (dense rounds deliver degree-many payloads per node).
+        self._offsets = offsets.astype(index_dtype_for(self.total_nodes))
+        self._count_dtype = index_dtype_for(self.total_nodes)
+        self._acc_dtype = index_dtype_for(self.total_nodes**2)
         self.layouts: list[LaneLayout] = []
         for index, lane in enumerate(self.lanes):
-            if lane.n < 1:
-                raise ValueError("every lane needs at least one node")
-            if lane.leader is not None and not 0 <= lane.leader < lane.n:
-                raise ValueError(
-                    f"lane {index}: leader index {lane.leader} out of range"
-                )
-            if self.config.stop_when == "leader" and lane.leader is None:
-                raise ValueError("stop_when='leader' requires a leader index")
-            offset = int(offsets[index])
+            offset = int(self._offsets[index])
             leader = None if lane.leader is None else offset + lane.leader
             self.layouts.append(LaneLayout(index, offset, lane.n, leader))
-        self._offsets = offsets
-        self.total_nodes = int(offsets[-1])
         self._caches = [AdjacencyCache() for _ in self.lanes]
         self._stack = StackCache()
 
@@ -290,6 +400,19 @@ class FastEngine:
         ]
         return self._stack.stack(parts)
 
+    def edges_at(self, round_no: int) -> int:
+        """Total edge count of the chunk's lanes at ``round_no``.
+
+        Used to extend a finished chunk's telemetry over the rounds the
+        batch keeps running: the monolithic stack still counts finished
+        lanes' edges every round, and a block-diagonal's edge count is
+        exactly the sum of its parts.
+        """
+        return sum(
+            self._lane_adjacency(index, round_no).edges
+            for index in range(len(self.lanes))
+        )
+
     # -- stop criteria ------------------------------------------------
 
     def _lane_done(self, mask: np.ndarray) -> np.ndarray:
@@ -301,11 +424,227 @@ class FastEngine:
             return np.array(
                 [mask[layout.leader] for layout in self.layouts], dtype=bool
             )
-        per_lane = np.add.reduceat(mask.astype(np.int64), self._offsets[:-1])
+        per_lane = np.add.reduceat(
+            mask.astype(self._count_dtype), self._offsets[:-1]
+        )
         if stop_when == "all":
             sizes = np.diff(self._offsets)
             return per_lane == sizes
         return per_lane > 0  # "any"
+
+    # -- execution ----------------------------------------------------
+
+    def run(
+        self,
+        protocol: VectorizedProtocol,
+        round_hook: Callable[[int], None] | None,
+        telemetry,
+        *,
+        stream: bool,
+        batch_nodes: int,
+    ) -> _BlockOutcome:
+        """Run the chunk's lanes to completion (or the round budget).
+
+        With ``stream`` the chunk covers the whole batch and telemetry
+        records are emitted directly (the monolithic path); otherwise
+        sampled records are collected for cross-chunk merging.
+        """
+        config = self.config
+        protocol.allocate(self.layouts)
+        rounds_done = np.full(
+            len(self.lanes), -1, dtype=index_dtype_for(config.max_rounds)
+        )
+        lane_active = np.ones(len(self.lanes), dtype=bool)
+        sizes = np.diff(self._offsets)
+        stats = {"rounds": 0, "graphs": 0, "sent": 0, "delivered": 0}
+        records: dict[int, dict[str, int]] = {}
+        rounds_executed = 0
+        for round_no in range(config.max_rounds):
+            adjacency = self._stacked_adjacency(round_no)
+            active_nodes = np.repeat(lane_active, sizes)
+            sending, delivered = protocol.step(
+                round_no, adjacency, active_nodes
+            )
+            rounds_executed = round_no + 1
+            # Per-lane traffic, counted exactly like the object
+            # engine: only lanes still running execute the round.
+            sent_by_lane = np.add.reduceat(
+                sending.astype(self._count_dtype), self._offsets[:-1]
+            )
+            delivered_by_lane = np.add.reduceat(
+                np.asarray(delivered, dtype=self._acc_dtype),
+                self._offsets[:-1],
+            )
+            active_count = int(lane_active.sum())
+            round_sent = int(sent_by_lane[lane_active].sum())
+            round_delivered = int(delivered_by_lane[lane_active].sum())
+            stats["rounds"] += active_count
+            stats["graphs"] += active_count
+            stats["sent"] += round_sent
+            stats["delivered"] += round_delivered
+            if round_hook is not None:
+                round_hook(round_no)
+            mask = protocol.output_mask()
+            if telemetry is not None and telemetry.wants(round_no):
+                # Same post-round semantics as the object engine's
+                # record; traffic covers the lanes that executed
+                # the round, edges the whole stacked adjacency.
+                record = {
+                    "edges": adjacency.edges,
+                    "sent": round_sent,
+                    "delivered": round_delivered,
+                    "informed": int(
+                        np.count_nonzero(protocol.informed_mask())
+                    ),
+                    "terminated": int(np.count_nonzero(mask)),
+                    "lanes_active": active_count,
+                }
+                if stream:
+                    telemetry.emit(
+                        {
+                            "engine": "fast",
+                            "round": round_no,
+                            **record,
+                            "nodes": batch_nodes,
+                        }
+                    )
+                else:
+                    records[round_no] = record
+            newly_done = lane_active & self._lane_done(mask)
+            rounds_done[newly_done] = round_no + 1
+            lane_active &= ~newly_done
+            if not lane_active.any():
+                break
+        if config.stop_when == "budget":
+            rounds_done[lane_active] = config.max_rounds
+            lane_active[:] = False
+        outcome = _BlockOutcome(
+            stats=stats,
+            rounds_done=rounds_done,
+            stuck=[int(i) for i in np.flatnonzero(lane_active)],
+            rounds_executed=rounds_executed,
+            records=records,
+        )
+        if telemetry is not None and not stream:
+            # Frozen end-state, reused verbatim for the rounds the rest
+            # of the batch keeps running (terminated lanes' informed and
+            # terminated counts never change; traffic stops).
+            outcome.final_informed = int(
+                np.count_nonzero(protocol.informed_mask())
+            )
+            outcome.final_terminated = int(
+                np.count_nonzero(protocol.output_mask())
+            )
+        return outcome
+
+
+class FastEngine:
+    """Drive a :class:`VectorizedProtocol` over batched lanes.
+
+    Semantics mirror :class:`~repro.simulation.engine.SynchronousEngine`
+    per lane: the same stop criteria (``leader``/``all``/``any``/
+    ``budget``), the same round accounting (a lane's terminal round is
+    executed in full), the same :class:`TerminationError` on budget
+    exhaustion, and the same per-round validation rules -- performed
+    once per distinct graph object through the adjacency cache.
+
+    Args:
+        protocol: The vectorized protocol instance (one per engine).
+        lanes: The independent runs to stack; a single lane is the
+            un-batched case.
+        config: Engine configuration (``trace_level`` must be ``NONE``:
+            the fast path records no traces).
+        max_lane_nodes: Streaming budget -- the maximum number of nodes
+            stacked into one block-diagonal chunk.  ``None`` (default)
+            adopts the ambient budget (:func:`lane_budget_enabled`,
+            set by ``--max-lane-nodes``); with no budget anywhere the
+            whole batch runs as one monolithic stack.  Chunked and
+            monolithic executions produce identical results, counters,
+            and telemetry trajectories; only peak memory differs.
+
+    Example:
+        >>> from repro.core.counting.star import VectorizedStar
+        >>> from repro.networks.generators.stars import star_network
+        >>> engine = FastEngine(
+        ...     VectorizedStar(),
+        ...     [FastLane(star_network(5), 5, leader=0)],
+        ...     config=EngineConfig(max_rounds=4),
+        ... )
+        >>> engine.run()[0].leader_output
+        5
+    """
+
+    def __init__(
+        self,
+        protocol: VectorizedProtocol,
+        lanes: Sequence[FastLane],
+        *,
+        config: EngineConfig | None = None,
+        round_hook: Callable[[int], None] | None = None,
+        max_lane_nodes: int | None = None,
+    ) -> None:
+        if not lanes:
+            raise ValueError("need at least one lane")
+        self.config = config or EngineConfig()
+        if self.config.trace_level != TraceLevel.NONE:
+            raise ValueError(
+                "the fast backend does not record traces; run the object "
+                "engine (backend='object') to trace an execution"
+            )
+        self.protocol = protocol
+        self.lanes = list(lanes)
+        self.round_hook = round_hook
+        sizes = []
+        for index, lane in enumerate(self.lanes):
+            if lane.n < 1:
+                raise ValueError("every lane needs at least one node")
+            if lane.leader is not None and not 0 <= lane.leader < lane.n:
+                raise ValueError(
+                    f"lane {index}: leader index {lane.leader} out of range"
+                )
+            if self.config.stop_when == "leader" and lane.leader is None:
+                raise ValueError("stop_when='leader' requires a leader index")
+            sizes.append(lane.n)
+        self.total_nodes = int(sum(sizes))
+        # Engine-wide dtype policy (chunk-local loops re-derive their
+        # own, smaller dtypes from the chunk totals).
+        self._index_dtype = index_dtype_for(self.total_nodes)
+        self._acc_dtype = index_dtype_for(self.total_nodes**2)
+        offsets = np.concatenate(([0], np.cumsum(sizes))).astype(
+            self._index_dtype
+        )
+        self._offsets = offsets
+        self.layouts = [
+            LaneLayout(
+                index,
+                int(offsets[index]),
+                lane.n,
+                None
+                if lane.leader is None
+                else int(offsets[index]) + lane.leader,
+            )
+            for index, lane in enumerate(self.lanes)
+        ]
+        if max_lane_nodes is None:
+            max_lane_nodes = active_lane_budget()
+        if max_lane_nodes is not None:
+            max_lane_nodes = _validate_budget(max_lane_nodes)
+        self.max_lane_nodes = max_lane_nodes
+        self._chunks = partition_lanes(sizes, max_lane_nodes)
+
+    def _chunk_protocol(
+        self, start: int, stop: int
+    ) -> VectorizedProtocol:
+        try:
+            return self.protocol.subset(range(start, stop))
+        except NotImplementedError as exc:
+            raise TypeError(
+                f"max_lane_nodes={self.max_lane_nodes} splits "
+                f"{len(self.lanes)} lanes into {len(self._chunks)} chunks, "
+                f"but {type(self.protocol).__name__} does not implement "
+                "subset()/absorb(); raise the budget or add chunking "
+                "support to the protocol"
+            ) from exc
 
     # -- execution ----------------------------------------------------
 
@@ -321,76 +660,70 @@ class FastEngine:
         counter("engine.fast.batches")
         counter("engine.runs", len(self.lanes))
         telemetry = telemetry_mod.active()
-        self.protocol.allocate(self.layouts)
-        rounds_done = np.full(len(self.lanes), -1, dtype=np.int64)
-        lane_active = np.ones(len(self.lanes), dtype=bool)
-        sizes = np.diff(self._offsets)
+        streaming = len(self._chunks) > 1
         stats = {"rounds": 0, "graphs": 0, "sent": 0, "delivered": 0}
+        results: list[SimulationResult] = []
+        stuck: list[int] = []
+        fused_rounds = 0
+        max_lane_rounds = 0
+        # (outcome, block) per finished chunk, for telemetry merging.
+        chunk_telemetry: list[tuple[_BlockOutcome, _LaneBlock]] = []
         with span(
             "engine.fast.run",
             lanes=len(self.lanes),
             nodes=self.total_nodes,
             stop_when=config.stop_when,
+            chunks=len(self._chunks),
         ):
-            for round_no in range(config.max_rounds):
-                adjacency = self._stacked_adjacency(round_no)
-                active_nodes = np.repeat(lane_active, sizes)
-                sending, delivered = self.protocol.step(
-                    round_no, adjacency, active_nodes
+            for start, stop in self._chunks:
+                protocol = (
+                    self._chunk_protocol(start, stop)
+                    if streaming
+                    else self.protocol
                 )
-                counter("engine.fast.fused_rounds")
-                # Per-lane traffic, counted exactly like the object
-                # engine: only lanes still running execute the round.
-                sent_by_lane = np.add.reduceat(
-                    sending.astype(np.int64), self._offsets[:-1]
+                block = _LaneBlock(self.lanes[start:stop], config)
+                outcome = block.run(
+                    protocol,
+                    self.round_hook,
+                    telemetry,
+                    stream=not streaming,
+                    batch_nodes=self.total_nodes,
                 )
-                delivered_by_lane = np.add.reduceat(
-                    np.asarray(delivered, dtype=np.int64), self._offsets[:-1]
-                )
-                active_count = int(lane_active.sum())
-                round_sent = int(sent_by_lane[lane_active].sum())
-                round_delivered = int(delivered_by_lane[lane_active].sum())
-                stats["rounds"] += active_count
-                stats["graphs"] += active_count
-                stats["sent"] += round_sent
-                stats["delivered"] += round_delivered
-                if self.round_hook is not None:
-                    self.round_hook(round_no)
-                mask = self.protocol.output_mask()
-                if telemetry is not None and telemetry.wants(round_no):
-                    # Same post-round semantics as the object engine's
-                    # record; traffic covers the lanes that executed
-                    # the round, edges the whole stacked adjacency.
-                    telemetry.emit(
-                        {
-                            "engine": "fast",
-                            "round": round_no,
-                            "edges": adjacency.edges,
-                            "sent": round_sent,
-                            "delivered": round_delivered,
-                            "informed": int(
-                                np.count_nonzero(
-                                    self.protocol.informed_mask()
-                                )
-                            ),
-                            "terminated": int(np.count_nonzero(mask)),
-                            "nodes": self.total_nodes,
-                            "lanes_active": active_count,
-                        }
+                # Extract lane results while the chunk's state is live,
+                # then release it before the next chunk allocates.
+                for local, layout in enumerate(block.layouts):
+                    results.append(
+                        self._lane_result(
+                            protocol,
+                            block.lanes[local],
+                            layout,
+                            int(outcome.rounds_done[local]),
+                        )
                     )
-                newly_done = lane_active & self._lane_done(mask)
-                rounds_done[newly_done] = round_no + 1
-                lane_active &= ~newly_done
-                if not lane_active.any():
-                    break
-            if config.stop_when == "budget":
-                rounds_done[lane_active] = config.max_rounds
-                lane_active[:] = False
-            if lane_active.any():
-                stuck = [int(i) for i in np.flatnonzero(lane_active)[:10]]
+                if streaming:
+                    self.protocol.absorb(protocol, range(start, stop))
+                for key in stats:
+                    stats[key] += outcome.stats[key]
+                stuck.extend(start + local for local in outcome.stuck)
+                fused_rounds = max(fused_rounds, outcome.rounds_executed)
+                max_lane_rounds = max(
+                    max_lane_rounds, int(outcome.rounds_done.max(initial=0))
+                )
+                if telemetry is not None and streaming:
+                    chunk_telemetry.append((outcome, block))
+                del protocol, block, outcome
+            # One value emission per batch: the monolithic loop executes
+            # max-over-lanes rounds, and so does the slowest chunk.
+            counter("engine.fast.fused_rounds", fused_rounds)
+            if telemetry is not None and streaming:
+                self._emit_merged_telemetry(
+                    telemetry, chunk_telemetry, fused_rounds
+                )
+            if stuck:
+                shown = sorted(stuck)[:10]
                 raise TerminationError(
                     f"stop criterion {config.stop_when!r} not met within "
-                    f"{config.max_rounds} rounds (lanes {stuck})"
+                    f"{config.max_rounds} rounds (lanes {shown})"
                 )
         counter("engine.rounds", stats["rounds"])
         counter("engine.graphs", stats["graphs"])
@@ -401,21 +734,69 @@ class FastEngine:
             extra={
                 "lanes": len(self.lanes),
                 "nodes": self.total_nodes,
-                "lane_rounds": int(rounds_done.max(initial=0)),
+                "chunks": len(self._chunks),
+                "lane_rounds": max_lane_rounds,
             },
         )
-        return [self._lane_result(layout, rounds_done) for layout in self.layouts]
+        return results
+
+    def _emit_merged_telemetry(
+        self,
+        telemetry,
+        chunk_telemetry: list[tuple[_BlockOutcome, _LaneBlock]],
+        total_rounds: int,
+    ) -> None:
+        """Fold per-chunk telemetry into the monolithic trajectory.
+
+        The monolithic stack emits one record per sampled round until
+        the *last* lane finishes, with finished lanes' edges still
+        counted and their informed/terminated tallies frozen.  A chunk
+        that finished early therefore contributes its frozen end-state
+        (and per-round edge counts) to every later sampled round.
+        """
+        merged: dict[int, dict[str, int]] = {}
+
+        def slot(round_no: int) -> dict[str, int]:
+            return merged.setdefault(
+                round_no, dict.fromkeys(_TELEMETRY_KEYS, 0)
+            )
+
+        for outcome, block in chunk_telemetry:
+            for round_no, record in outcome.records.items():
+                entry = slot(round_no)
+                for key in _TELEMETRY_KEYS:
+                    entry[key] += record[key]
+            for round_no in range(outcome.rounds_executed, total_rounds):
+                if not telemetry.wants(round_no):
+                    continue
+                entry = slot(round_no)
+                entry["edges"] += block.edges_at(round_no)
+                entry["informed"] += outcome.final_informed
+                entry["terminated"] += outcome.final_terminated
+        for round_no in sorted(merged):
+            record = merged[round_no]
+            telemetry.emit(
+                {
+                    "engine": "fast",
+                    "round": round_no,
+                    **record,
+                    "nodes": self.total_nodes,
+                }
+            )
 
     def _lane_result(
-        self, layout: LaneLayout, rounds_done: np.ndarray
+        self,
+        protocol: VectorizedProtocol,
+        lane: FastLane,
+        layout: LaneLayout,
+        rounds: int,
     ) -> SimulationResult:
-        outputs = self.protocol.outputs_for(layout)
-        leader_local = self.lanes[layout.index].leader
+        outputs = protocol.outputs_for(layout)
         leader_output = (
-            outputs.get(leader_local) if leader_local is not None else None
+            outputs.get(lane.leader) if lane.leader is not None else None
         )
         return SimulationResult(
-            rounds=int(rounds_done[layout.index]),
+            rounds=rounds,
             outputs=outputs,
             leader_output=leader_output,
             terminated=True,

@@ -1,0 +1,154 @@
+"""Optional compiled receive-phase kernel for the fast backend.
+
+The fast backend's hot loop is one sparse matvec per round
+(:meth:`repro.networks.csr.CSRAdjacency.matvec`).  scipy's CSR matvec
+is already C, but it multiplies by the (unit) edge weights and routes
+through the generic sparse machinery; a `numba <https://numba.pydata.org>`_
+``@njit`` kernel over the raw ``indptr``/``indices`` arrays skips both,
+summing neighbour values directly.
+
+numba is an *optional* dependency: this module import-guards it and
+degrades to the scipy matvec with a logged reason.  Selection is the
+``--jit auto|on|off`` CLI flag (or :func:`jit_enabled` in code):
+
+========  ==============  =================================================
+mode      numba present   behaviour
+========  ==============  =================================================
+auto      yes             compiled kernel installed
+auto      no              scipy matvec, reason logged at DEBUG
+on        yes             compiled kernel installed
+on        no              scipy matvec, reason logged at WARNING
+off       --              scipy matvec (kernel never consulted)
+========  ==============  =================================================
+
+The kernel is installed *process-wide* through
+:func:`repro.networks.csr.set_matvec_kernel`; both paths sum neighbour
+values in CSR index order over unit weights, so results are
+bit-identical and the object==fast differential suite holds either way.
+Sweep workers inherit the installation through process forking on
+POSIX start methods.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.networks import csr as csr_mod
+from repro.obs.logger import get_logger
+
+_log = get_logger("simulation.jit")
+
+__all__ = [
+    "HAVE_NUMBA",
+    "JIT_MODES",
+    "enable",
+    "disable",
+    "jit_enabled",
+    "jit_status",
+    "resolve_jit",
+]
+
+JIT_MODES = ("auto", "on", "off")
+"""Valid ``--jit`` selections."""
+
+try:
+    import numba
+
+    HAVE_NUMBA = True
+    _IMPORT_ERROR: str | None = None
+except ImportError as exc:  # pragma: no cover - depends on environment
+    numba = None
+    HAVE_NUMBA = False
+    _IMPORT_ERROR = str(exc)
+
+#: The compiled kernel, built once per process on first use.
+_compiled_kernel = None
+
+#: ``(backend, reason)`` of the most recent :func:`enable` call:
+#: backend is ``"numba"`` or ``"scipy"``, reason explains a fallback
+#: (``None`` when the compiled kernel is active or jit was never
+#: enabled).
+_status: tuple[str, str | None] = ("scipy", "jit not enabled")
+
+
+def resolve_jit(mode: str) -> str:
+    """Validate a ``--jit`` mode argument, returning it unchanged."""
+    if mode not in JIT_MODES:
+        raise ValueError(f"jit mode must be one of {JIT_MODES}, got {mode!r}")
+    return mode
+
+
+def _build_kernel():
+    """Compile (lazily, once) the CSR receive-phase kernel."""
+    global _compiled_kernel
+    if _compiled_kernel is None:
+        # Lazy signatures: numba specializes per index dtype, so the
+        # same kernel serves int32 and int64 CSR matrices.
+        @numba.njit(cache=False)
+        def _receive(indptr, indices, x, out):  # pragma: no cover - jit
+            for row in range(out.shape[0]):
+                acc = 0.0
+                for k in range(indptr[row], indptr[row + 1]):
+                    acc += x[indices[k]]
+                out[row] = acc
+
+        _compiled_kernel = _receive
+    return _compiled_kernel
+
+
+def jit_status() -> tuple[str, str | None]:
+    """``(backend, reason)`` of the current receive-phase selection."""
+    return _status
+
+
+def enable(mode: str = "auto") -> str:
+    """Select the receive-phase backend; returns ``"numba"`` or ``"scipy"``.
+
+    Installs the compiled kernel process-wide when available, otherwise
+    clears any installed kernel and records the fallback reason
+    (queryable through :func:`jit_status`).
+    """
+    global _status
+    resolve_jit(mode)
+    if mode == "off":
+        csr_mod.set_matvec_kernel(None)
+        _status = ("scipy", "jit disabled (--jit off)")
+        return "scipy"
+    if not HAVE_NUMBA:
+        reason = (
+            f"numba not importable ({_IMPORT_ERROR}); "
+            "falling back to the scipy matvec"
+        )
+        if mode == "on":
+            _log.warning("jit requested but unavailable: %s", reason)
+        else:
+            _log.debug("jit unavailable: %s", reason)
+        csr_mod.set_matvec_kernel(None)
+        _status = ("scipy", reason)
+        return "scipy"
+    csr_mod.set_matvec_kernel(_build_kernel())
+    _status = ("numba", None)
+    _log.debug("compiled receive-phase kernel installed (jit=%s)", mode)
+    return "numba"
+
+
+def disable() -> None:
+    """Clear any installed kernel; the scipy matvec takes over."""
+    global _status
+    csr_mod.set_matvec_kernel(None)
+    _status = ("scipy", "jit not enabled")
+
+
+@contextmanager
+def jit_enabled(mode: str = "auto") -> Iterator[str]:
+    """Scoped receive-phase selection; restores the previous kernel."""
+    global _status
+    previous_kernel = csr_mod.matvec_kernel()
+    previous_status = _status
+    backend = enable(mode)
+    try:
+        yield backend
+    finally:
+        csr_mod.set_matvec_kernel(previous_kernel)
+        _status = previous_status

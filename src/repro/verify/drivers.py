@@ -82,7 +82,9 @@ def _run_flood(networks, case, backend: str):
     budget = 4 * n + 8
     if backend == "fast":
         return flood_times_batch(
-            [(network, source) for network in networks], max_rounds=budget
+            [(network, source) for network in networks],
+            max_rounds=budget,
+            max_lane_nodes=case.params.get("max_lane_nodes"),
         )
     return [
         flood_time_via_protocol(
@@ -96,7 +98,8 @@ def _run_token_ids(networks, case, backend: str):
     horizon = int(case.params["n"])
     if backend == "fast":
         outcomes = count_with_ids_batch(
-            [(network, horizon) for network in networks]
+            [(network, horizon) for network in networks],
+            max_lane_nodes=case.params.get("max_lane_nodes"),
         )
     else:
         outcomes = [
@@ -119,6 +122,7 @@ def _run_dissemination(networks, case, backend: str):
         results = disseminate_by_flooding_batch(
             [(network, assignment) for network in networks],
             max_rounds=budget,
+            max_lane_nodes=case.params.get("max_lane_nodes"),
         )
     else:
         results = [

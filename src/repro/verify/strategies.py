@@ -213,6 +213,11 @@ def _kernel_case(rng: random.Random) -> Case:
 
 def _backend_case(rng: random.Random) -> Case:
     protocol = rng.choice(_BACKEND_PROTOCOLS)
+    # Fuzzing the streaming chunk budget makes every backend case a
+    # free chunked-vs-monolithic differential oracle: a tiny budget
+    # forces multi-chunk execution, which must match the object engine
+    # (and hence the unchunked fast path) exactly.
+    budget = rng.randint(1, 12)
     return Case(
         "backend",
         protocol,
@@ -221,6 +226,7 @@ def _backend_case(rng: random.Random) -> Case:
             "family": rng.choice(_BACKEND_FAMILIES),
             "n": rng.randint(2, 10),
             "lanes": rng.randint(1, 3),
+            "max_lane_nodes": rng.choice([None, budget]),
         },
     )
 
@@ -364,6 +370,7 @@ _INT_MINS: dict[tuple[str | None, str], int] = {
     (None, "prefix"): 1,
     (None, "r"): 0,
     (None, "lanes"): 1,
+    (None, "max_lane_nodes"): 1,
 }
 
 

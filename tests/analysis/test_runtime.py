@@ -482,3 +482,120 @@ class TestSerialTimeoutVisibility:
         assert outcome.passed
         assert any("degraded to serial" in note for note in outcome.provenance)
         assert any("not enforced" in note for note in outcome.provenance)
+
+
+class TestSharding:
+    """Deterministic task partitioning for multi-machine sweeps."""
+
+    def test_shard_of_is_stable_and_in_range(self):
+        from repro.analysis.runtime import shard_of
+
+        # sha256-based: stable across processes and Python versions.
+        assert shard_of("tab-star-pd1-deadbeef", 4) == shard_of(
+            "tab-star-pd1-deadbeef", 4
+        )
+        for count in (1, 2, 3, 7):
+            owners = {shard_of(f"task-{i}", count) for i in range(64)}
+            assert owners <= set(range(count))
+        assert shard_of("anything", 1) == 0
+
+    def test_shard_of_rejects_bad_count(self):
+        from repro.analysis.runtime import shard_of
+
+        with pytest.raises(ValueError, match="shard count"):
+            shard_of("key", 0)
+
+    def test_parse_shard(self):
+        from repro.analysis.runtime import parse_shard
+
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("2", "a/b", "2/2", "-1/2", "0/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_shards_partition_the_sweep(self):
+        outcomes = [
+            run_sweep(REQUESTS, shard=(index, 2)) for index in range(2)
+        ]
+        owned = [len(outcome.results) for outcome in outcomes]
+        assert sum(owned) == len(REQUESTS)  # disjoint cover, no overlap
+        for index, outcome in enumerate(outcomes):
+            assert outcome.passed
+            assert any(
+                f"shard {index}/2: owns {owned[index]} of 3"
+                in line
+                for line in outcome.provenance
+            )
+
+    def test_shard_counter_and_validation(self):
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(REQUESTS, shard=(0, 2))
+        counters = counters_of(registry)
+        assert counters["runtime.shard.owned"] == len(outcome.results)
+        with pytest.raises(ValueError, match="shard index"):
+            run_sweep(REQUESTS, shard=(2, 2))
+
+
+class TestMergeJournals:
+    def _sharded_sweep(self, tmp_path):
+        from repro.analysis.runtime import merge_journals
+
+        cache = ResultCache(tmp_path / "cache")
+        sources = []
+        for index in range(2):
+            journal_path = tmp_path / f"shard-{index}.jsonl"
+            run_sweep(
+                REQUESTS,
+                cache=cache,
+                journal=Journal(journal_path),
+                shard=(index, 2),
+            )
+            sources.append(journal_path)
+        merged = tmp_path / "cache" / "journal.jsonl"
+        lines = merge_journals(merged, sources)
+        return cache, merged, lines
+
+    def test_merged_resume_re_executes_nothing(self, tmp_path):
+        cache, merged, lines = self._sharded_sweep(tmp_path)
+        assert lines > 0
+        with use_registry(MetricsRegistry()) as registry:
+            outcome = run_sweep(
+                REQUESTS, cache=cache, journal=Journal(merged), resume=True
+            )
+        assert outcome.passed and outcome.skipped == len(REQUESTS)
+        counters = counters_of(registry)
+        assert counters["runtime.resume.skipped"] == len(REQUESTS)
+        assert "experiments.run" not in counters  # zero re-execution
+        reference = run_sweep(REQUESTS)
+        assert [r.rows for r in outcome.results] == [
+            r.rows for r in reference.results
+        ]
+
+    def test_merge_sorts_by_timestamp(self, tmp_path):
+        from repro.analysis.runtime import merge_journals
+
+        import json as json_mod
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(
+            json_mod.dumps({"event": "x", "ts": 3.0}) + "\n"
+            + json_mod.dumps({"event": "y", "ts": 1.0}) + "\n"
+        )
+        b.write_text(
+            json_mod.dumps({"event": "z", "ts": 2.0}) + "\n"
+            + "not json\n"
+        )
+        out = tmp_path / "merged.jsonl"
+        assert merge_journals(out, [a, b]) == 3  # torn line skipped
+        stamps = [
+            json_mod.loads(line)["ts"]
+            for line in out.read_text().splitlines()
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_merge_requires_sources(self, tmp_path):
+        from repro.analysis.runtime import merge_journals
+
+        with pytest.raises(ValueError, match="at least one journal"):
+            merge_journals(tmp_path / "out.jsonl", [])

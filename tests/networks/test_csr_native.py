@@ -251,3 +251,80 @@ class TestBoundedMemory:
         finally:
             tracemalloc.stop()
         assert settled - warm < 256 * 1024
+
+
+class TestIndexDtypePolicy:
+    """The int32-first CSR index policy (repro.networks.csr)."""
+
+    def test_boundary(self):
+        from repro.networks.csr import index_dtype_for
+
+        assert index_dtype_for(0) == np.int32
+        assert index_dtype_for(2**31 - 1) == np.int32
+        assert index_dtype_for(2**31) == np.int64
+
+    def test_csr_from_edges_uses_int32_when_small(self):
+        from repro.networks.csr import csr_from_edges
+
+        u = np.array([0, 1, 2], dtype=np.int64)
+        v = np.array([1, 2, 3], dtype=np.int64)
+        adjacency = csr_from_edges(4, u, v)
+        assert adjacency.matrix.indices.dtype == np.int32
+        assert adjacency.matrix.indptr.dtype == np.int32
+
+    def test_lowered_graph_uses_int32_when_small(self):
+        from repro.networks.csr import lower_graph
+
+        adjacency = lower_graph(nx.path_graph(5))
+        assert adjacency.matrix.indices.dtype == np.int32
+        assert adjacency.matrix.indptr.dtype == np.int32
+
+    def test_stacked_adjacency_keeps_policy_dtype(self):
+        from repro.networks.csr import lower_graph, stack_adjacencies
+
+        stacked = stack_adjacencies(
+            [lower_graph(nx.path_graph(4)), lower_graph(nx.cycle_graph(5))]
+        )
+        assert stacked.matrix.indices.dtype == np.int32
+
+    def test_dedup_keys_never_wrap_at_large_n(self):
+        # a*n + b of the duplicate-collapse key can exceed int32 even
+        # when every endpoint fits it; the key math must run in int64.
+        from repro.networks.csr import csr_from_edges
+
+        n = 2**20
+        u = np.array([n - 2, n - 1, n - 2], dtype=np.int64)
+        v = np.array([n - 1, n - 2, n - 1], dtype=np.int64)
+        adjacency = csr_from_edges(n, u, v)
+        assert adjacency.edges == 1  # all three collapse to one edge
+        assert adjacency.matrix.indices.dtype == np.int32
+
+    def test_out_of_range_endpoints_rejected_not_wrapped(self):
+        # Validation must happen before any int32 narrowing: an
+        # endpoint beyond the range would otherwise wrap into a valid-
+        # looking index and pass the check.
+        from repro.networks.csr import validate_edge_arrays
+
+        u = np.array([0, 2**33], dtype=np.int64)
+        v = np.array([1, 1], dtype=np.int64)
+        with pytest.raises(TopologyError):
+            validate_edge_arrays(4, u, v)
+
+    def test_validated_arrays_come_back_in_policy_dtype(self):
+        from repro.networks.csr import validate_edge_arrays
+
+        u = np.array([0, 1], dtype=np.int64)
+        v = np.array([1, 2], dtype=np.int64)
+        out_u, out_v = validate_edge_arrays(3, u, v)
+        assert out_u.dtype == np.int32
+        assert out_v.dtype == np.int32
+
+    def test_precompiled_store_uses_policy_dtype(self):
+        network = precompile_schedule(
+            CSRDynamicGraph(6, ring_provider(6)), 3
+        )
+        for round_no in range(3):
+            u, v = network.edges(round_no)
+            assert u.dtype == np.int32
+            assert v.dtype == np.int32
+            assert network.to_csr(round_no).matrix.indices.dtype == np.int32

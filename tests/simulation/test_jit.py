@@ -1,0 +1,153 @@
+"""The optional compiled receive kernel (repro.simulation.jit).
+
+numba is an optional dependency this container does not ship, so most
+of these tests exercise the *fallback* matrix (mode validation, logged
+reasons, state restoration) plus the kernel dispatch seam in
+``CSRAdjacency.matvec`` using a plain-Python stand-in kernel; the
+numba-only paths are gated behind ``skipif``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting.flooding import flood_times_batch
+from repro.networks import csr as csr_mod
+from repro.networks.generators.random_dynamic import RandomConnectedAdversary
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.simulation import jit
+
+
+def _python_kernel(indptr, indices, x, out):
+    """Reference implementation of the compiled kernel's contract."""
+    for row in range(out.shape[0]):
+        out[row] = x[indices[indptr[row] : indptr[row + 1]]].sum()
+
+
+@pytest.fixture
+def clean_kernel():
+    previous = csr_mod.matvec_kernel()
+    yield
+    csr_mod.set_matvec_kernel(previous)
+
+
+class TestModes:
+    def test_resolve_validates(self):
+        for mode in jit.JIT_MODES:
+            assert jit.resolve_jit(mode) == mode
+        with pytest.raises(ValueError, match="jit mode"):
+            jit.resolve_jit("always")
+
+    def test_off_never_installs(self, clean_kernel):
+        backend = jit.enable("off")
+        assert backend == "scipy"
+        assert csr_mod.matvec_kernel() is None
+        assert jit.jit_status() == ("scipy", "jit disabled (--jit off)")
+
+    @pytest.mark.skipif(jit.HAVE_NUMBA, reason="needs numba absent")
+    def test_absent_numba_falls_back_with_reason(self, clean_kernel, caplog):
+        with caplog.at_level("DEBUG", logger="repro.simulation.jit"):
+            assert jit.enable("auto") == "scipy"
+        backend, reason = jit.jit_status()
+        assert backend == "scipy"
+        assert "numba not importable" in reason
+        assert csr_mod.matvec_kernel() is None
+        # 'on' is louder than 'auto': the user asked for the kernel.
+        with caplog.at_level("WARNING", logger="repro.simulation.jit"):
+            caplog.clear()
+            assert jit.enable("on") == "scipy"
+        assert any(
+            "unavailable" in record.message for record in caplog.records
+        )
+
+    @pytest.mark.skipif(not jit.HAVE_NUMBA, reason="needs numba")
+    def test_numba_installs_kernel(self, clean_kernel):
+        assert jit.enable("auto") == "numba"
+        assert csr_mod.matvec_kernel() is not None
+        assert jit.jit_status() == ("numba", None)
+
+    def test_context_restores_previous_state(self, clean_kernel):
+        csr_mod.set_matvec_kernel(_python_kernel)
+        status_before = jit.jit_status()
+        with jit.jit_enabled("off") as backend:
+            assert backend == "scipy"
+            assert csr_mod.matvec_kernel() is None
+        assert csr_mod.matvec_kernel() is _python_kernel
+        assert jit.jit_status() == status_before
+
+    def test_disable_clears(self, clean_kernel):
+        csr_mod.set_matvec_kernel(_python_kernel)
+        jit.disable()
+        assert csr_mod.matvec_kernel() is None
+        assert jit.jit_status() == ("scipy", "jit not enabled")
+
+
+class TestKernelDispatch:
+    """The csr.matvec seam, driven by the plain-Python kernel."""
+
+    def _adjacency(self, n=12, seed=3):
+        rng = np.random.default_rng(seed)
+        from repro.networks.generators.random_dynamic import (
+            random_connected_edges,
+        )
+
+        u, v = random_connected_edges(n, rng, extra_edge_p=0.3)
+        return csr_mod.csr_from_edges(n, u, v)
+
+    def test_kernel_matches_scipy(self, clean_kernel):
+        adjacency = self._adjacency()
+        x = np.arange(adjacency.n, dtype=np.float64)
+        csr_mod.set_matvec_kernel(None)
+        expected = adjacency.matvec(x)
+        csr_mod.set_matvec_kernel(_python_kernel)
+        assert np.array_equal(adjacency.matvec(x), expected)
+
+    def test_kernel_counted(self, clean_kernel):
+        adjacency = self._adjacency()
+        x = np.ones(adjacency.n, dtype=np.float64)
+        csr_mod.set_matvec_kernel(_python_kernel)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            adjacency.matvec(x)
+        assert registry.snapshot()["counters"]["adjacency.jit_matvecs"] == 1
+
+    def test_non_float64_input_bypasses_kernel(self, clean_kernel):
+        def exploding(indptr, indices, x, out):  # pragma: no cover
+            raise AssertionError("kernel must not see non-float64 input")
+
+        adjacency = self._adjacency()
+        csr_mod.set_matvec_kernel(exploding)
+        result = adjacency.matvec(np.ones(adjacency.n, dtype=np.int64))
+        assert result.sum() == 2 * adjacency.edges
+
+    def test_flood_identical_with_kernel(self, clean_kernel):
+        jobs = [
+            (
+                RandomConnectedAdversary(
+                    n, seed=seed, extra_edge_p=0.1
+                ).as_dynamic_graph(),
+                0,
+            )
+            for seed, n in enumerate((6, 9, 5), start=3)
+        ]
+
+        def run():
+            return flood_times_batch(
+                [
+                    (
+                        RandomConnectedAdversary(
+                            job[0].n, seed=seed, extra_edge_p=0.1
+                        ).as_dynamic_graph(),
+                        0,
+                    )
+                    for seed, job in enumerate(jobs, start=3)
+                ],
+                max_rounds=64,
+                max_lane_nodes=7,
+            )
+
+        csr_mod.set_matvec_kernel(None)
+        expected = run()
+        csr_mod.set_matvec_kernel(_python_kernel)
+        assert run() == expected
