@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-dynamic-smoke bench-scale-smoke shard-smoke trace-smoke verify-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke bench-dynamic-smoke bench-scale-smoke shard-smoke trace-smoke verify-smoke serve-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -114,6 +114,16 @@ verify-smoke:
 	$(PYTHON) -m repro verify --fuzz 50 --seed 0 --fixtures-dir .repro-verify
 	$(PYTHON) -m repro verify --self-test --fixtures-dir .repro-verify-selftest
 	@rm -rf .repro-verify-selftest
+
+# Experiment-service smoke: validate the example scenarios, start the
+# HTTP service, submit the same scenario twice, and prove the second
+# submission is served from the result cache with zero engine work
+# (engine.*/runtime.* counters byte-equal) while the first job's
+# streamed JSONL stitches to a single service.job trace root.
+# Artifacts stay in .serve-smoke/ for CI to upload on failure.
+serve-smoke:
+	@rm -rf .serve-smoke
+	$(PYTHON) benchmarks/serve_smoke.py scenarios/star-smoke.json
 
 experiments:
 	$(PYTHON) -m repro all

@@ -1,0 +1,155 @@
+"""Serve smoke: the experiment service's two load-bearing guarantees.
+
+Starts an in-process :class:`ReproService` on an ephemeral port,
+submits the same scenario twice over real HTTP, and asserts:
+
+1. **Cache-served resubmission.**  The second submission answers
+   ``state == "cached"`` with results inline, and the server's
+   ``engine.*`` / ``runtime.*`` counters are *byte-equal* before and
+   after -- zero engine work, proved by the metrics endpoint, not by
+   timing.
+2. **One trace root.**  The first job's streamed JSONL events stitch
+   (``repro trace`` machinery) into exactly one trace whose single
+   root is the ``service.job`` span -- worker processes included.
+
+It also strict-validates every example scenario under ``scenarios/``
+(TOML ones only on Python >= 3.11, where stdlib ``tomllib`` exists).
+
+Artifacts -- the streamed events, both submission responses, and the
+metrics snapshots -- land in ``.serve-smoke/`` for CI to upload on
+failure.  Exit code 0 iff every assertion holds.
+
+Usage::
+
+    python benchmarks/serve_smoke.py [scenarios/star-smoke.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs.trace import stitch  # noqa: E402
+from repro.scenarios import load_scenario  # noqa: E402
+from repro.service import ReproService, ServiceClient  # noqa: E402
+
+OUT = REPO / ".serve-smoke"
+
+
+def engine_counters(snapshot: dict) -> dict[str, float]:
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith(("engine.", "runtime."))
+    }
+
+
+def fail(message: str) -> int:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    print(f"serve-smoke: artifacts in {OUT}", file=sys.stderr)
+    return 1
+
+
+def validate_examples() -> list[str]:
+    """Strict-validate every example scenario; returns problem strings."""
+    problems = []
+    try:
+        import tomllib  # noqa: F401
+        toml_ok = True
+    except ModuleNotFoundError:
+        toml_ok = False
+    for path in sorted((REPO / "scenarios").glob("*")):
+        if path.suffix == ".toml" and not toml_ok:
+            print(f"  (skipping {path.name}: no stdlib tomllib)")
+            continue
+        if path.suffix not in (".json", ".toml"):
+            continue
+        try:
+            scenario = load_scenario(path)
+            scenario.validate()
+            print(
+                f"  {path.name}: ok (digest {scenario.digest()}, "
+                f"{len(scenario.task_keys())} task(s))"
+            )
+        except Exception as exc:  # noqa: BLE001 -- collecting, not dying
+            problems.append(f"{path.name}: {exc}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    scenario_path = Path(argv[1]) if len(argv) > 1 else (
+        REPO / "scenarios" / "star-smoke.json"
+    )
+    OUT.mkdir(parents=True, exist_ok=True)
+
+    print("validating example scenarios:")
+    problems = validate_examples()
+    if problems:
+        return fail("example scenario(s) invalid: " + "; ".join(problems))
+
+    document = load_scenario(scenario_path).to_dict()
+    service = ReproService(OUT / "state", port=0).start()
+    try:
+        client = ServiceClient(service.url, timeout_s=300.0)
+        print(f"service up at {service.url}")
+
+        first = client.submit(document)
+        (OUT / "first-submit.json").write_text(json.dumps(first, indent=1))
+        if first["state"] != "queued":
+            return fail(f"first submission not queued: {first['state']}")
+        job_id = first["job"]
+
+        # Stream the full JSONL progress; ends when the job finishes.
+        events = list(client.stream_events(job_id, follow=True))
+        (OUT / "events.jsonl").write_text(
+            "".join(json.dumps(event) + "\n" for event in events)
+        )
+        final = client.wait(job_id)
+        if final["state"] != "completed" or not final.get("passed"):
+            return fail(f"job did not pass: {final}")
+        print(f"{job_id} completed, {len(events)} streamed event(s)")
+
+        before = client.metrics()
+        (OUT / "metrics-before.json").write_text(json.dumps(before, indent=1))
+        second = client.submit(document)
+        (OUT / "second-submit.json").write_text(json.dumps(second, indent=1))
+        after = client.metrics()
+        (OUT / "metrics-after.json").write_text(json.dumps(after, indent=1))
+
+        if second["state"] != "cached":
+            return fail(f"second submission not cache-served: {second['state']}")
+        if engine_counters(after) != engine_counters(before):
+            return fail(
+                "engine counters moved on a cache-served submission: "
+                f"{engine_counters(before)} -> {engine_counters(after)}"
+            )
+        served = after["counters"].get("service.cache_served", 0)
+        if served < 1:
+            return fail(f"service.cache_served counter is {served}")
+        print(
+            f"resubmission cache-served with zero engine work "
+            f"({len(engine_counters(after))} engine/runtime counters "
+            f"byte-equal)"
+        )
+
+        traces = stitch(events)
+        roots = [root.name for trace in traces for root in trace.roots]
+        if len(traces) != 1 or roots != ["service.job"]:
+            return fail(
+                f"stream did not stitch to a single service.job root: "
+                f"{len(traces)} trace(s), roots {roots}"
+            )
+        print("streamed JSONL stitches to a single service.job trace root")
+    finally:
+        service.close()
+
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,15 +14,15 @@ re-exported here unchanged for backward compatibility:
 * :class:`ResultCache` -- now :mod:`repro.analysis.runtime.cache`.
 * :func:`timed_run` -- now :mod:`repro.analysis.runtime.runner`.
 * :func:`run_experiments` -- a thin wrapper over
-  :func:`repro.analysis.runtime.run_sweep`.  Its ``params=`` kwarg (the
-  signature-sniffing sweep-wide override path) is deprecated: build
-  :class:`~repro.analysis.registry.ExperimentRequest` values and call
-  ``run_sweep`` instead.
+  :func:`repro.analysis.runtime.run_sweep`.  Its deprecated ``params=``
+  kwarg (the signature-sniffing sweep-wide override path) has been
+  removed: build :class:`~repro.analysis.registry.ExperimentRequest`
+  values (via :func:`repro.analysis.sweep.grid_requests` for grids) and
+  call ``run_sweep`` instead.
 """
 
 from __future__ import annotations
 
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -127,45 +127,18 @@ def parallel_map(
         return results
 
 
-def _params_to_request(
-    experiment: str, params: dict[str, Any]
-) -> ExperimentRequest:
-    """Map legacy sweep-wide ``params`` onto an :class:`ExperimentRequest`.
-
-    The old path inspected each experiment's signature and forwarded
-    the subset of keys it accepted.  The request API carries the same
-    options as declared fields, so only the declarative option names
-    are accepted here; anything else belongs in per-request ``params``.
-    """
-    fields: dict[str, Any] = {}
-    for key, value in params.items():
-        if key not in ("backend", "jobs", "seed"):
-            raise TypeError(
-                f"run_experiments(params={{{key!r}: ...}}) is not "
-                "supported any more: build ExperimentRequest values "
-                "with explicit params and call "
-                "repro.analysis.runtime.run_sweep instead"
-            )
-        fields[key] = value
-    return ExperimentRequest(experiment=experiment, **fields)
-
-
 def run_experiments(
     experiments: Sequence[str] | None = None,
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
-    params: dict[str, Any] | None = None,
+    **removed: Any,
 ) -> list[ExperimentResult]:
     """Run experiments (default: all registered), possibly in parallel.
 
     Legacy wrapper over :func:`repro.analysis.runtime.run_sweep` kept
     for callers of the pre-request API; results, cache keys, and merged
-    metrics are identical.  The ``params=`` kwarg is deprecated --
-    construct :class:`~repro.analysis.registry.ExperimentRequest`
-    values instead (it only ever supported the declarative option
-    fields ``backend``/``jobs``/``seed`` usefully, and those are
-    explicit request fields now).
+    metrics are identical.
 
     Returns:
         One :class:`ExperimentResult` per requested experiment, with
@@ -173,18 +146,23 @@ def run_experiments(
         snapshot (engine rounds, messages, span timings, ...) is merged
         into the caller's current registry, so aggregated counters are
         identical for serial and parallel runs.
+
+    Raises:
+        TypeError: The removed ``params=`` kwarg (or any other unknown
+            keyword) was passed; build
+            :class:`~repro.analysis.registry.ExperimentRequest` values
+            (:func:`repro.analysis.sweep.grid_requests` expands grids)
+            and call ``run_sweep`` instead.
     """
-    names = list(experiments or available_experiments())
-    if params:
-        warnings.warn(
-            "run_experiments(params=...) is deprecated; build "
-            "ExperimentRequest values (backend/jobs/seed are explicit "
-            "fields) and call repro.analysis.runtime.run_sweep",
-            DeprecationWarning,
-            stacklevel=2,
+    if removed:
+        raise TypeError(
+            f"run_experiments() got unsupported keyword(s) "
+            f"{sorted(removed)}: the deprecated params= path was "
+            "removed -- build ExperimentRequest values (backend/jobs/"
+            "seed are explicit fields; grid_requests expands grids) "
+            "and call repro.analysis.runtime.run_sweep"
         )
-        requests = [_params_to_request(name, params) for name in names]
-    else:
-        requests = [ExperimentRequest(experiment=name) for name in names]
+    names = list(experiments or available_experiments())
+    requests = [ExperimentRequest(experiment=name) for name in names]
     outcome = run_sweep(requests, jobs=jobs, cache=cache)
     return outcome.results

@@ -201,6 +201,42 @@ class ExperimentRequest:
                 params.setdefault(name, value)
         return params
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready description (the service/job wire format).
+
+        Default field values are omitted, so the document stays as
+        terse as the constructor call; inverse of :meth:`from_dict`.
+        """
+        payload: dict[str, Any] = {"experiment": self.experiment}
+        if self.params:
+            payload["params"] = dict(self.params)
+        for name in OPTION_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.cache_policy != "reuse":
+            payload["cache_policy"] = self.cache_policy
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRequest":
+        """Parse a :meth:`to_dict` document; unknown keys are rejected.
+
+        Raises:
+            ValueError: ``payload`` is missing ``experiment`` or names
+                an unknown key (the message names it).
+        """
+        known = ("experiment", "params", *OPTION_FIELDS, "cache_policy")
+        for key in payload:
+            if key not in known:
+                raise ValueError(
+                    f"unknown ExperimentRequest key {key!r}; valid keys: "
+                    f"{', '.join(known)}"
+                )
+        if "experiment" not in payload:
+            raise ValueError("ExperimentRequest payload needs 'experiment'")
+        return cls(**dict(payload))
+
 
 def _build_registry() -> dict[str, ExperimentSpec]:
     # Imported lazily so `import repro` stays fast and dependency-light.

@@ -14,9 +14,8 @@ a report always says how it was produced.
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.analysis.registry import ExperimentRequest, ExperimentResult
 from repro.analysis.runtime.cache import ResultCache
@@ -57,12 +56,12 @@ def full_report(
     title: str = "Experiment report",
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
-    params: dict[str, Any] | None = None,
     journal: Journal | None = None,
     resume: bool = False,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     shard: tuple[int, int] | None = None,
+    **removed,
 ) -> str:
     """Run experiments (default: all) and render one Markdown document.
 
@@ -77,8 +76,6 @@ def full_report(
             default, so a report is bit-identical to ``repro all``.
         cache: A :class:`~repro.analysis.runtime.cache.ResultCache` or
             a cache directory path; cached experiments are not re-run.
-        params: Deprecated sweep-wide overrides -- set the matching
-            :class:`ExperimentRequest` fields instead.
         journal: Optional checkpoint journal (see
             ``docs/ROBUSTNESS.md``).
         resume: Replay the journal and skip completed tasks.
@@ -92,34 +89,27 @@ def full_report(
     the runtime has something to declare (resume, retries exhausted,
     degradation to serial) -- partial-run provenance is part of the
     report, not hidden in logs.
+
+    Raises:
+        TypeError: The removed ``params=`` kwarg was passed (as an
+            unexpected keyword); pass ``requests=`` built from
+            :class:`ExperimentRequest` values --
+            :func:`repro.analysis.sweep.grid_requests` expands
+            option/parameter grids.
     """
+    if removed:
+        raise TypeError(
+            f"full_report() got unsupported keyword(s) "
+            f"{sorted(removed)}: the deprecated params= path was "
+            "removed -- pass requests= built from ExperimentRequest "
+            "values (repro.analysis.sweep.grid_requests expands "
+            "option/parameter grids)"
+        )
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     if requests is None:
         names = experiments  # None means the full registry
-        if params:
-            warnings.warn(
-                "full_report(params=...) is deprecated; pass requests= "
-                "with explicit ExperimentRequest fields instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            fields = {
-                key: value
-                for key, value in params.items()
-                if key in ("backend", "jobs", "seed")
-            }
-            unknown = set(params) - set(fields)
-            if unknown:
-                raise TypeError(
-                    f"full_report(params=...) supports only backend/jobs/"
-                    f"seed, got {sorted(unknown)}; use requests= instead"
-                )
-            requests = [
-                ExperimentRequest(experiment=name, **fields)
-                for name in (names or _default_names())
-            ]
-        elif names is not None:
+        if names is not None:
             requests = [ExperimentRequest(experiment=name) for name in names]
     outcome = run_sweep(
         requests,
@@ -148,12 +138,6 @@ def full_report(
         )
     )
     return "\n".join(sections)
-
-
-def _default_names() -> list[str]:
-    from repro.analysis.registry import available_experiments
-
-    return available_experiments()
 
 
 def write_report(path: str | Path, **kwargs) -> Path:

@@ -26,6 +26,10 @@ Usage::
     python -m repro verify --suite kernel --suite backend
     python -m repro verify --self-test
     python -m repro verify --replay .repro-verify/kernel-...json
+    python -m repro scenario validate scenarios/*.toml
+    python -m repro scenario run scenarios/smoke.json --cache-dir .repro-cache
+    python -m repro serve --port 8765 --state-dir .repro-service
+    python -m repro submit scenarios/smoke.json --url http://127.0.0.1:8765
 
 Parameters given as ``--param name=value`` are parsed as Python literals
 and forwarded to the experiment function.  Every command builds typed
@@ -33,13 +37,18 @@ and forwarded to the experiment function.  Every command builds typed
 them through the fault-tolerant runtime
 (:func:`repro.analysis.runtime.run_sweep`).
 
-Execution options (``run`` / ``all`` / ``report`` share one group):
+Execution options (``run`` / ``all`` / ``report`` share one group, built
+from :data:`repro.scenarios.options.EXECUTION_FIELDS` -- the same table
+that defines a scenario file's ``execution`` section, so CLI flags and
+schema fields cannot drift):
 
 * ``--backend {object,fast}`` -- simulation backend, applied to the
   experiments that declare support for it.
 * ``--jobs N`` -- worker processes (``run``: granted to the
   experiment's internal sweeps; ``all``/``report``: across
   experiments).
+* ``--seed S`` -- randomness seed, applied to the experiments that
+  declare support for it.
 * ``--cache-dir PATH`` -- JSON result cache *and* the checkpoint
   journal (``PATH/journal.jsonl``).
 * ``--resume`` -- replay the journal: skip completed tasks, re-queue
@@ -58,6 +67,23 @@ Execution options (``run`` / ``all`` / ``report`` share one group):
 * ``--shard I/N`` -- run only the tasks this shard owns (deterministic
   journal-key hash partition); fold the per-shard journals back with
   ``repro merge-journals OUT IN...`` and ``--resume``.
+* ``--telemetry [EVERY]`` -- emit one ``kind: "telemetry"`` event per
+  sampled engine round (informed/terminated counts, traffic, graph
+  size) to the JSONL sinks; ``EVERY`` is ``K`` or ``every=K``.
+
+Scenarios and the experiment service (see ``docs/SCENARIOS.md``):
+
+* ``repro scenario validate FILE...`` -- strict-validate scenario
+  files, print their digests and compiled task counts.
+* ``repro scenario run FILE`` -- compile a scenario and execute it on
+  the sweep runtime locally (``--cache-dir`` / ``--resume`` /
+  ``--inject-fault`` stay CLI-side; everything else comes from the
+  file's ``execution`` section).
+* ``repro serve`` -- the stdlib HTTP experiment service; accepts
+  scenario submissions, streams JSONL progress, serves repeat
+  submissions from the result cache with zero engine work.
+* ``repro submit FILE`` -- send a scenario to a running service and
+  (by default) wait for and render the results.
 
 Observability (same commands):
 
@@ -66,9 +92,6 @@ Observability (same commands):
   JSONL file (one JSON object per line).
 * ``--metrics-out PATH`` -- write the command's metrics snapshot
   (counters, gauges, histograms) as JSON.
-* ``--telemetry [EVERY]`` -- emit one ``kind: "telemetry"`` event per
-  sampled engine round (informed/terminated counts, traffic, graph
-  size) to the JSONL sinks; ``EVERY`` is ``K`` or ``every=K``.
 * ``--profile`` / ``--profile-mem`` -- cProfile / tracemalloc report on
   stderr when the command finishes.
 
@@ -141,18 +164,6 @@ def _observability_options() -> argparse.ArgumentParser:
         help="write the run's metrics snapshot (JSON) to PATH",
     )
     group.add_argument(
-        "--telemetry",
-        nargs="?",
-        const="1",
-        default=None,
-        metavar="EVERY",
-        help=(
-            "emit per-round engine telemetry events every EVERY rounds "
-            "('K' or 'every=K'; bare flag samples every round); pair "
-            "with --log-json to capture them"
-        ),
-    )
-    group.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the top functions to stderr",
@@ -168,126 +179,15 @@ def _observability_options() -> argparse.ArgumentParser:
 def _execution_options() -> argparse.ArgumentParser:
     """Shared backend/jobs/cache/fault-tolerance options.
 
-    ``run``, ``all`` and ``report`` used to wire these individually
-    (and drifted); one parent parser now builds the group for all
-    three.
+    Built from :data:`repro.scenarios.options.EXECUTION_FIELDS` -- the
+    same table the scenario schema validates against -- so ``run`` /
+    ``all`` / ``report`` flags and a scenario file's ``execution``
+    section are one surface and cannot drift.
     """
+    from repro.scenarios.options import add_execution_arguments
+
     parent = argparse.ArgumentParser(add_help=False)
-    group = parent.add_argument_group("execution")
-    group.add_argument(
-        "--backend",
-        choices=["object", "fast"],
-        default="object",
-        help=(
-            "simulation backend: 'object' drives one process object per "
-            "node, 'fast' the vectorized batch engine; applied to the "
-            "experiments that declare support for it (default: object)"
-        ),
-    )
-    group.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help=(
-            "worker processes (default: serial); for `run` this is "
-            "granted to the experiment's internal sweeps"
-        ),
-    )
-    group.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="PATH",
-        help=(
-            "cache results as JSON under PATH, keyed by (experiment, "
-            "params), and keep the checkpoint journal at "
-            "PATH/journal.jsonl; cached experiments are not re-run"
-        ),
-    )
-    group.add_argument(
-        "--resume",
-        action="store_true",
-        help=(
-            "replay the checkpoint journal: skip completed tasks, "
-            "re-queue in-flight ones (requires --cache-dir)"
-        ),
-    )
-    group.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        metavar="S",
-        help=(
-            "wall-clock budget per task attempt in seconds; hung "
-            "workers are terminated and retried (needs --jobs >= 2)"
-        ),
-    )
-    group.add_argument(
-        "--retries",
-        type=int,
-        default=2,
-        metavar="N",
-        help=(
-            "extra attempts per task after a transient failure (worker "
-            "crash, timeout, I/O); deterministic bugs never retry "
-            "(default: 2)"
-        ),
-    )
-    group.add_argument(
-        "--max-failures",
-        type=int,
-        default=0,
-        metavar="N",
-        help=(
-            "fatally-failed tasks tolerated before the sweep aborts; "
-            "tolerated failures appear as failing results in the "
-            "output (default: 0, fail fast)"
-        ),
-    )
-    group.add_argument(
-        "--inject-fault",
-        default=None,
-        metavar="KIND@K",
-        help=(
-            "testing: deterministically inject a fault "
-            "(raise|fatal|hang|kill) into the K-th pending task's "
-            "first attempt"
-        ),
-    )
-    group.add_argument(
-        "--max-lane-nodes",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "fast backend: stream lane batches in chunks of at most N "
-            "stacked nodes instead of materialising one block-diagonal "
-            "stack (results are identical; peak memory is bounded by "
-            "the chunk, see docs/PERFORMANCE.md)"
-        ),
-    )
-    group.add_argument(
-        "--jit",
-        choices=["auto", "on", "off"],
-        default="auto",
-        help=(
-            "fast backend: compile the receive-phase matvec kernel "
-            "with numba when importable ('auto', the default, falls "
-            "back to scipy silently; 'on' warns on fallback; 'off' "
-            "never compiles)"
-        ),
-    )
-    group.add_argument(
-        "--shard",
-        default=None,
-        metavar="I/N",
-        help=(
-            "run only the sweep tasks shard I of N owns (deterministic "
-            "journal-key hash partition, stable across machines); "
-            "merge the per-shard journals with `repro merge-journals` "
-            "and --resume to fold shards back together"
-        ),
-    )
+    add_execution_arguments(parent)
     return parent
 
 
@@ -459,6 +359,106 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FIXTURE",
         help="re-run one persisted fixture instead of fuzzing",
     )
+    scenario = commands.add_parser(
+        "scenario",
+        help="validate / run declarative scenario files",
+    )
+    scenario_sub = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    validate = scenario_sub.add_parser(
+        "validate",
+        help="strict-validate scenario files and print their digests",
+    )
+    validate.add_argument(
+        "paths",
+        nargs="+",
+        help="scenario files (.json or .toml)",
+    )
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        parents=[obs_options],
+        help="compile a scenario file and run it on the sweep runtime",
+    )
+    scenario_run.add_argument(
+        "path", help="scenario file (.json or .toml)"
+    )
+    scenario_run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache results under PATH and keep the scenario's "
+            "digest-keyed checkpoint journal there (enables --resume)"
+        ),
+    )
+    scenario_run.add_argument(
+        "--resume",
+        action="store_true",
+        default=None,
+        help=(
+            "override the scenario's execution.resume and replay the "
+            "checkpoint journal (requires --cache-dir)"
+        ),
+    )
+    scenario_run.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="KIND@K",
+        help=(
+            "testing: deterministically inject a fault "
+            "(raise|fatal|hang|kill) into the K-th pending task's "
+            "first attempt"
+        ),
+    )
+    serve = commands.add_parser(
+        "serve",
+        parents=[obs_options],
+        help="run the HTTP experiment service",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=".repro-service",
+        metavar="PATH",
+        help=(
+            "result cache, per-scenario journals, and job event "
+            "streams live here (default: %(default)s)"
+        ),
+    )
+    submit = commands.add_parser(
+        "submit",
+        parents=[obs_options],
+        help="submit a scenario file to a running service",
+    )
+    submit.add_argument(
+        "scenario", help="scenario file (.json or .toml)"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="service base URL (default: %(default)s)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return right after submission instead of waiting for results",
+    )
+    submit.add_argument(
+        "--events",
+        action="store_true",
+        help="stream the job's JSONL progress events to stdout while waiting",
+    )
     return parser
 
 
@@ -546,15 +546,157 @@ def _execute_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _print_wire_results(results: list[dict[str, Any]]) -> int:
+    """Render service wire-format results; exit code from their checks."""
+    from repro.analysis.registry import ExperimentResult
+
+    parsed = [ExperimentResult.from_dict(payload) for payload in results]
+    for result in parsed:
+        print(result.render())
+        print()
+    return 0 if all(result.passed for result in parsed) else 1
+
+
+def _execute_scenario_validate(args: argparse.Namespace) -> int:
+    """``repro scenario validate``: strict-check files, print digests."""
+    from repro.scenarios import ScenarioError, load_scenario
+
+    status = 0
+    for path in args.paths:
+        try:
+            scenario = load_scenario(path)
+            tasks = scenario.task_keys()
+        except (OSError, ScenarioError, TypeError) as exc:
+            print(f"{path}: INVALID: {exc}")
+            status = 1
+            continue
+        print(
+            f"{path}: ok -- scenario {scenario.name!r} "
+            f"({scenario.experiment}), {len(tasks)} task(s), "
+            f"digest {scenario.digest()}"
+        )
+    return status
+
+
+def _execute_scenario_run(args: argparse.Namespace) -> int:
+    """``repro scenario run``: execute a scenario file locally."""
+    from repro.analysis.runtime import FaultPlan, Journal, ResultCache
+    from repro.scenarios import ScenarioError, load_scenario, run_scenario
+
+    try:
+        scenario = load_scenario(args.path)
+    except (OSError, ScenarioError) as exc:
+        raise SystemExit(str(exc)) from exc
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    journal = (
+        Journal(
+            Path(args.cache_dir)
+            / f"scenario-{scenario.digest()}.journal.jsonl"
+        )
+        if args.cache_dir
+        else None
+    )
+    resume = (
+        scenario.execution.resume if args.resume is None else args.resume
+    )
+    if resume and journal is None:
+        raise SystemExit(
+            "--resume requires --cache-dir: the checkpoint journal and "
+            "the completed results live there"
+        )
+    try:
+        faults = (
+            FaultPlan.parse(args.inject_fault) if args.inject_fault else None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    try:
+        outcome = run_scenario(
+            scenario,
+            cache=cache,
+            journal=journal,
+            resume=resume,
+            faults=faults,
+        )
+    except (ScenarioError, TypeError) as exc:
+        raise SystemExit(str(exc)) from exc
+    for result in outcome.results:
+        print(result.render())
+        print()
+    for line in outcome.provenance:
+        print(f"provenance: {line}")
+    return 0 if outcome.passed else 1
+
+
+def _execute_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the HTTP experiment service until killed."""
+    from repro.service.server import serve as serve_service
+
+    serve_service(args.state_dir, host=args.host, port=args.port)
+    return 0
+
+
+def _execute_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: send a scenario to a running service."""
+    from repro.scenarios import ScenarioError, load_scenario
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except (OSError, ScenarioError) as exc:
+        raise SystemExit(str(exc)) from exc
+    client = ServiceClient(args.url)
+    try:
+        submission = client.submit(scenario.to_dict())
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from exc
+    if submission["state"] == "cached":
+        print(
+            f"served from cache: {len(submission['results'])} result(s), "
+            f"zero engine work (digest {submission['scenario_digest']})"
+        )
+        return _print_wire_results(submission["results"])
+    job_id = submission["job"]
+    print(
+        f"queued as {job_id} "
+        f"(scenario digest {submission['scenario_digest']})"
+    )
+    if args.no_wait:
+        print(f"poll with: curl {args.url}/jobs/{job_id}")
+        return 0
+    try:
+        if args.events:
+            for event in client.stream_events(job_id):
+                print(json.dumps(event))
+        final = client.wait(job_id)
+        if final["state"] == "failed":
+            print(f"job {job_id} failed: {final.get('error')}")
+            return 1
+        return _print_wire_results(client.result(job_id)["results"])
+    except (ServiceError, TimeoutError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _execute(args: argparse.Namespace) -> int:
     """Run the instrumented command (``run`` / ``all`` / ``report``)."""
     if args.command == "verify":
         return _execute_verify(args)
+    if args.command == "scenario":
+        return _execute_scenario_run(args)
+    if args.command == "serve":
+        return _execute_serve(args)
+    if args.command == "submit":
+        return _execute_submit(args)
 
     from repro.analysis.registry import ExperimentRequest, experiment_options
     from repro.analysis.runtime import run_sweep
+    from repro.scenarios.options import ExecutionOptions
 
-    backend = args.backend if args.backend != "object" else None
+    try:
+        options = ExecutionOptions.from_namespace(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    backend = options.request_backend()
     runtime = _runtime_setup(args)
     if args.command == "run":
         params = _parse_params(args.param)
@@ -571,6 +713,7 @@ def _execute(args: argparse.Namespace) -> int:
             params=params,
             backend=backend,
             jobs=args.jobs if args.jobs > 1 else None,
+            seed=options.seed,
         )
         outcome = run_sweep([request], jobs=1, **runtime)
         if not outcome.results:  # the task belongs to another shard
@@ -591,7 +734,9 @@ def _execute(args: argparse.Namespace) -> int:
 
         names = args.experiment or available_experiments()
         requests = [
-            ExperimentRequest(experiment=name, backend=backend)
+            ExperimentRequest(
+                experiment=name, backend=backend, seed=options.seed
+            )
             for name in names
         ]
         path = write_report(
@@ -601,7 +746,9 @@ def _execute(args: argparse.Namespace) -> int:
         return 0
     # command == "all"
     requests = [
-        ExperimentRequest(experiment=name, backend=backend)
+        ExperimentRequest(
+            experiment=name, backend=backend, seed=options.seed
+        )
         for name in available_experiments()
     ]
     outcome = run_sweep(requests, jobs=args.jobs, **runtime)
@@ -680,6 +827,8 @@ def main(argv: list[str] | None = None) -> int:
             f"into {args.out}"
         )
         return 0
+    if args.command == "scenario" and args.scenario_command == "validate":
+        return _execute_scenario_validate(args)
     if args.command == "bench-report":
         from repro.obs.bench import render_report
 

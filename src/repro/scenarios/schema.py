@@ -1,0 +1,353 @@
+"""The versioned, strictly-validated declarative scenario schema.
+
+A *scenario* is a run described as data: one experiment, an optional
+parameter grid, and the execution options -- in a JSON or TOML file a
+human can diff, review, and resubmit, instead of a bespoke command
+line or Python script::
+
+    {
+      "schema_version": 1,
+      "name": "star-sweep",
+      "experiment": "tab-star-pd1",
+      "params": {"sizes": [2, 5]},
+      "grid": {"backend": ["object", "fast"]},
+      "execution": {"jobs": 2, "retries": 1}
+    }
+
+Compilation is deterministic: :meth:`Scenario.compile` expands the
+grid through :func:`repro.analysis.sweep.grid_requests` into the same
+typed :class:`~repro.analysis.registry.ExperimentRequest` values a
+Python caller would hand-build -- byte-identical cache/journal
+identity included (the golden-digest tests in
+``tests/scenarios/test_schema.py`` pin this), so a scenario submitted
+to ``repro serve`` hits exactly the cache entries an earlier CLI run
+populated.
+
+Validation is strict and names the offender:
+
+* an unsupported ``schema_version`` is rejected (files from a future
+  schema must not be silently misread),
+* unknown top-level keys and unknown ``execution`` options are
+  rejected by name,
+* grid values must be lists of parameter values,
+* parameter values must be JSON-serialisable -- checked here at the
+  schema boundary with the exact :meth:`ResultCache.key` error, so a
+  bad submission fails the submitter, not the worker.
+
+``to_dict`` / ``from_dict`` round-trip losslessly; ``loads`` / ``dumps``
+and :func:`load_scenario` add the file formats (JSON always, TOML via
+the stdlib ``tomllib``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.registry import ExperimentRequest, get_spec
+from repro.analysis.runtime.cache import ResultCache
+from repro.analysis.runtime.journal import Journal
+from repro.analysis.sweep import grid_requests
+from repro.obs.logger import get_logger
+from repro.scenarios.options import ExecutionOptions
+
+_log = get_logger("scenarios.schema")
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "load_scenario",
+]
+
+#: The schema generation this build understands.
+SCHEMA_VERSION = 1
+
+#: Top-level keys a scenario document may carry.
+_SCENARIO_KEYS = (
+    "schema_version",
+    "name",
+    "experiment",
+    "params",
+    "grid",
+    "execution",
+    "cache_policy",
+)
+
+
+class ScenarioError(ValueError):
+    """A scenario document violates the schema (message names the key)."""
+
+
+def _require_mapping(value: Any, what: str) -> dict[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ScenarioError(
+            f"{what} must be a table/object, got {type(value).__name__}"
+        )
+    for key in value:
+        if not isinstance(key, str):
+            raise ScenarioError(
+                f"{what} keys must be strings, got {key!r}"
+            )
+    return dict(value)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declaratively-described run (see module docstring).
+
+    Attributes:
+        experiment: Registry id every compiled request targets.
+        name: Human-readable label (defaults to the experiment id);
+            shows up in service job listings and spans.
+        params: Base parameters shared by every grid point.
+        grid: Parameter grid; each key maps to the *list of values* to
+            sweep (cartesian product, last key fastest -- the
+            :func:`~repro.analysis.sweep.grid_requests` order).  Keys
+            naming declarative option fields (``backend``/``jobs``/
+            ``seed``) become request fields, exactly as a hand-built
+            sweep would set them.
+        execution: The :class:`ExecutionOptions` for the run.
+            ``backend`` and ``seed`` flow into each request;
+            ``jobs`` is sweep-level concurrency (the ``repro all
+            --jobs`` meaning).
+        cache_policy: Per-request cache policy (``reuse`` / ``refresh``
+            / ``off``).
+        schema_version: The schema generation of the source document.
+    """
+
+    experiment: str
+    name: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    execution: ExecutionOptions = field(default_factory=ExecutionOptions)
+    cache_policy: str = "reuse"
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.schema_version != SCHEMA_VERSION:
+            raise ScenarioError(
+                f"unsupported schema_version {self.schema_version!r}; "
+                f"this build understands version {SCHEMA_VERSION}"
+            )
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise ScenarioError(
+                f"experiment must be a non-empty string, got "
+                f"{self.experiment!r}"
+            )
+        object.__setattr__(
+            self, "params", _require_mapping(self.params, "params")
+        )
+        grid = _require_mapping(self.grid, "grid")
+        for key, values in grid.items():
+            if isinstance(values, str) or not isinstance(values, Sequence):
+                raise ScenarioError(
+                    f"grid key {key!r} must map to a list of values to "
+                    f"sweep, got {type(values).__name__}"
+                )
+            grid[key] = list(values)
+        object.__setattr__(self, "grid", grid)
+        if not isinstance(self.name, str):
+            raise ScenarioError(f"name must be a string, got {self.name!r}")
+        if not self.name:
+            object.__setattr__(self, "name", self.experiment)
+        if self.cache_policy not in ("reuse", "refresh", "off"):
+            raise ScenarioError(
+                f"cache_policy must be 'reuse', 'refresh' or 'off', got "
+                f"{self.cache_policy!r}"
+            )
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self) -> list[ExperimentRequest]:
+        """Expand the grid into typed requests (deterministic order).
+
+        Raises:
+            ScenarioError: Unknown experiment id (the message lists the
+                registry).
+        """
+        try:
+            get_spec(self.experiment)
+        except KeyError as exc:
+            # KeyError quotes its message; unwrap for a clean sentence.
+            raise ScenarioError(exc.args[0]) from None
+        base: dict[str, Any] = {
+            "params": self.params,
+            "cache_policy": self.cache_policy,
+        }
+        backend = self.execution.request_backend()
+        if backend is not None:
+            base["backend"] = backend
+        if self.execution.seed is not None:
+            base["seed"] = self.execution.seed
+        requests = grid_requests(self.experiment, self.grid, **base)
+        _log.debug(
+            "scenario compiled",
+            extra={"scenario": self.name, "requests": len(requests)},
+        )
+        return requests
+
+    def task_keys(self) -> list[str]:
+        """The journal/cache identity of every compiled request.
+
+        Computing the keys forces every parameter through
+        :meth:`ResultCache.key`, so a non-JSON-serialisable value is
+        rejected *here*, at the schema boundary, with the cache's own
+        key-naming ``TypeError`` -- not as a 500 from inside a worker.
+        """
+        return [
+            Journal.task_key(
+                request.experiment,
+                ResultCache.key(request.experiment, request.effective_params()),
+            )
+            for request in self.compile()
+        ]
+
+    def validate(self) -> "Scenario":
+        """Full semantic validation beyond document shape; returns self.
+
+        Raises:
+            ScenarioError: Unknown experiment.
+            TypeError: A parameter is not JSON-serialisable (the
+                :meth:`ResultCache.key` error, naming the key).
+        """
+        self.task_keys()
+        return self
+
+    def digest(self) -> str:
+        """16-hex identity of the whole scenario (schema + execution).
+
+        Two scenarios that would run the same tasks under the same
+        execution options share a digest; the service keys per-scenario
+        journals by it so a resubmitted crashed scenario can resume.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON/TOML-ready document; inverse of :meth:`from_dict`.
+
+        Defaults are omitted (a round-tripped file stays as terse as
+        the one the user wrote); ``schema_version`` and ``experiment``
+        are always present.
+        """
+        payload: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "experiment": self.experiment,
+        }
+        if self.name != self.experiment:
+            payload["name"] = self.name
+        if self.params:
+            payload["params"] = dict(self.params)
+        if self.grid:
+            payload["grid"] = {k: list(v) for k, v in self.grid.items()}
+        execution = self.execution.to_dict()
+        if execution:
+            payload["execution"] = execution
+        if self.cache_policy != "reuse":
+            payload["cache_policy"] = self.cache_policy
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Parse and strictly validate one scenario document.
+
+        Raises:
+            ScenarioError: Not a mapping, missing ``schema_version`` /
+                ``experiment``, an unsupported version, or an unknown
+                key anywhere (the message names the offending key).
+        """
+        document = _require_mapping(payload, "scenario")
+        for key in document:
+            if key not in _SCENARIO_KEYS:
+                raise ScenarioError(
+                    f"unknown scenario key {key!r}; valid keys: "
+                    f"{', '.join(_SCENARIO_KEYS)}"
+                )
+        if "schema_version" not in document:
+            raise ScenarioError(
+                "scenario is missing the required key 'schema_version' "
+                f"(this build understands version {SCHEMA_VERSION})"
+            )
+        if "experiment" not in document:
+            raise ScenarioError(
+                "scenario is missing the required key 'experiment'"
+            )
+        try:
+            execution = ExecutionOptions.from_dict(
+                document.get("execution", {})
+            )
+        except ScenarioError:
+            raise
+        except ValueError as exc:
+            raise ScenarioError(f"execution: {exc}") from None
+        try:
+            return cls(
+                experiment=document["experiment"],
+                name=document.get("name", ""),
+                params=document.get("params", {}),
+                grid=document.get("grid", {}),
+                execution=execution,
+                cache_policy=document.get("cache_policy", "reuse"),
+                schema_version=document["schema_version"],
+            )
+        except TypeError as exc:
+            raise ScenarioError(str(exc)) from None
+
+    def dumps(self) -> str:
+        """The scenario as canonical JSON text."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def loads(cls, text: str, *, format: str = "json") -> "Scenario":
+        """Parse scenario text in ``json`` or ``toml`` format.
+
+        Raises:
+            ScenarioError: Unparseable text or a schema violation.
+        """
+        if format == "toml":
+            try:
+                import tomllib
+            except ModuleNotFoundError:  # Python < 3.11
+                raise ScenarioError(
+                    "TOML scenarios need Python 3.11+ (stdlib tomllib); "
+                    "use the JSON form instead"
+                ) from None
+            try:
+                payload = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise ScenarioError(f"invalid TOML: {exc}") from None
+        elif format == "json":
+            try:
+                payload = json.loads(text)
+            except ValueError as exc:
+                raise ScenarioError(f"invalid JSON: {exc}") from None
+        else:
+            raise ScenarioError(
+                f"unknown scenario format {format!r} (json or toml)"
+            )
+        return cls.from_dict(payload)
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load a scenario file; the suffix picks JSON (default) or TOML.
+
+    Raises:
+        ScenarioError: Unreadable file, unparseable text, or a schema
+            violation (message includes the path).
+    """
+    path = Path(path)
+    format = "toml" if path.suffix.lower() == ".toml" else "json"
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}") from None
+    try:
+        return Scenario.loads(text, format=format)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from None

@@ -1,0 +1,23 @@
+"""The ``repro serve`` experiment service (see ``docs/SCENARIOS.md``).
+
+* :mod:`~repro.service.server` -- the stdlib-only HTTP layer
+  (:class:`ReproService`, the blocking :func:`serve` entry point).
+* :mod:`~repro.service.jobs` -- :class:`JobManager`: the submission
+  queue, the background sweep worker, and the digest-addressed result
+  cache that lets repeat submissions skip the engine entirely.
+* :mod:`~repro.service.client` -- :class:`ServiceClient`, the urllib
+  client behind ``repro submit`` and the smoke driver.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager
+from repro.service.server import ReproService, serve
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

@@ -182,30 +182,32 @@ class TestRunExperimentEntryPoint:
         assert result.passed
 
 
-class TestLegacyShims:
-    def test_run_experiments_params_warns_and_matches(self):
-        with pytest.warns(DeprecationWarning, match="ExperimentRequest"):
-            legacy = run_experiments(
-                ["tab-star-pd1"], params={"backend": "fast"}
-            )
-        from repro.analysis.runtime import run_sweep
+class TestRemovedParamsKwarg:
+    """The PR-4 ``params=`` deprecation shims are gone: both entry
+    points now fail fast with a TypeError that points at the request
+    API (``grid_requests`` + ``run_sweep``/``requests=``)."""
 
-        modern = run_sweep(
-            [ExperimentRequest("tab-star-pd1", backend="fast")]
-        ).results
-        assert legacy[0].rows == modern[0].rows
-        assert legacy[0].checks == modern[0].checks
+    def test_run_experiments_params_removed(self):
+        with pytest.raises(TypeError, match="grid_requests"):
+            run_experiments(["tab-star-pd1"], params={"backend": "fast"})
 
-    def test_run_experiments_rejects_non_option_params(self):
-        with pytest.raises(TypeError, match="run_sweep"):
-            with pytest.warns(DeprecationWarning):
-                run_experiments(["tab-star-pd1"], params={"sizes": (2, 5)})
+    def test_run_experiments_still_runs_without_params(self):
+        results = run_experiments(["tab-star-pd1"])
+        assert results[0].experiment == "tab-star-pd1"
+        assert results[0].passed
 
-    def test_full_report_params_warns(self, tmp_path):
+    def test_full_report_params_removed(self):
         from repro.analysis.reporting import full_report
 
-        with pytest.warns(DeprecationWarning, match="requests="):
-            report = full_report(
+        with pytest.raises(TypeError, match="grid_requests"):
+            full_report(
                 experiments=["tab-star-pd1"], params={"backend": "fast"}
             )
+
+    def test_full_report_requests_path_works(self):
+        from repro.analysis.reporting import full_report
+
+        report = full_report(
+            requests=[ExperimentRequest("tab-star-pd1", backend="fast")]
+        )
         assert "tab-star-pd1" in report

@@ -1,0 +1,96 @@
+"""Crash/resume driven entirely from a scenario file.
+
+The sweep definition -- grid, concurrency, retry budget -- lives in a
+JSON scenario document; the CLI only points at it.  A fault-injected
+``repro scenario run`` must abort mid-sweep, leave a digest-keyed
+journal behind, and a ``--resume`` rerun of the *same file* must finish
+without re-executing any completed task.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runtime import WorkerCrash
+from repro.cli import main
+from repro.scenarios import load_scenario
+
+#: Six grid points so a --jobs 4 sweep is genuinely mid-flight when
+#: task 4 is struck (the kill target only spawns after a slot frees).
+SCENARIO = {
+    "schema_version": 1,
+    "name": "resume-sweep",
+    "experiment": "tab-star-pd1",
+    "grid": {"sizes": [[2], [3], [4], [5], [6], [7]]},
+    "execution": {"jobs": 4, "retries": 0},
+}
+
+
+class TestScenarioCrashResume:
+    def test_scenario_file_sweep_crashes_and_resumes(self, tmp_path, capsys):
+        scenario_path = tmp_path / "sweep.json"
+        scenario_path.write_text(json.dumps(SCENARIO))
+        cache_dir = tmp_path / "cache"
+        digest = load_scenario(scenario_path).digest()
+        base = ["scenario", "run", str(scenario_path), "--cache-dir", str(cache_dir)]
+
+        # Crash mid-sweep: worker killed on task 4, retries=0 comes
+        # from the scenario file itself.
+        with pytest.raises(WorkerCrash):
+            main([*base, "--inject-fault", "kill@4"])
+        capsys.readouterr()
+
+        journal = cache_dir / f"scenario-{digest}.journal.jsonl"
+        assert journal.exists()
+        events = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        completed = {
+            event["task"] for event in events if event["event"] == "completed"
+        }
+        total = len(SCENARIO["grid"]["sizes"])
+        assert 1 <= len(completed) < total
+        assert any(event["event"] == "aborted" for event in events)
+
+        # Resume the same file: completed grid points skipped.
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main([*base, "--resume", "--metrics-out", str(metrics_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        counters = json.loads(metrics_path.read_text())["counters"]
+        assert counters["runtime.resume.skipped"] == len(completed)
+        assert counters["experiments.run"] == total - len(completed)
+        assert "resumed:" in out
+        assert "FAIL" not in out
+
+    def test_scenario_resume_requires_cache_dir(self, tmp_path):
+        scenario_path = tmp_path / "sweep.json"
+        scenario_path.write_text(json.dumps(SCENARIO))
+        with pytest.raises(SystemExit, match="--resume requires --cache-dir"):
+            main(["scenario", "run", str(scenario_path), "--resume"])
+
+    def test_invalid_scenario_file_is_clean_exit(self, tmp_path):
+        scenario_path = tmp_path / "bad.json"
+        scenario_path.write_text(
+            json.dumps({**SCENARIO, "schema_version": 99})
+        )
+        with pytest.raises(SystemExit, match="schema_version 99"):
+            main(["scenario", "run", str(scenario_path)])
+
+    def test_validate_reports_digest_and_tasks(self, tmp_path, capsys):
+        scenario_path = tmp_path / "sweep.json"
+        scenario_path.write_text(json.dumps(SCENARIO))
+        assert main(["scenario", "validate", str(scenario_path)]) == 0
+        out = capsys.readouterr().out
+        assert "6 task(s)" in out
+        assert load_scenario(scenario_path).digest() in out
+
+    def test_validate_invalid_file_exit_code(self, tmp_path, capsys):
+        scenario_path = tmp_path / "bad.json"
+        scenario_path.write_text(json.dumps({**SCENARIO, "bogus": True}))
+        assert main(["scenario", "validate", str(scenario_path)]) == 1
+        assert "'bogus'" in capsys.readouterr().out

@@ -1,0 +1,313 @@
+"""Scenario schema: round-trip fidelity, strict validation, and the
+golden-digest guarantee that scenario-compiled requests share cache and
+journal identity with hand-built :class:`ExperimentRequest` values."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.registry import ExperimentRequest
+from repro.analysis.runtime.cache import ResultCache
+from repro.analysis.runtime.journal import Journal
+from repro.scenarios import (
+    SCHEMA_VERSION,
+    Scenario,
+    ScenarioError,
+    load_scenario,
+)
+
+
+def request_key(request: ExperimentRequest) -> str:
+    return ResultCache.key(request.experiment, request.effective_params())
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        scenario = Scenario.from_dict(
+            {
+                "schema_version": 1,
+                "name": "star-sweep",
+                "experiment": "tab-star-pd1",
+                "params": {"sizes": [2, 5]},
+                "grid": {"backend": ["object", "fast"]},
+                "execution": {"jobs": 2, "retries": 1},
+            }
+        )
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt == scenario
+        assert rebuilt.digest() == scenario.digest()
+
+    def test_to_dict_omits_defaults(self):
+        scenario = Scenario(experiment="tab-kernel-structure")
+        assert scenario.to_dict() == {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": "tab-kernel-structure",
+        }
+
+    def test_dumps_loads_identity(self):
+        scenario = Scenario(
+            experiment="tab-star-pd1",
+            params={"sizes": [2, 5]},
+            grid={"backend": ["object", "fast"]},
+        )
+        assert Scenario.loads(scenario.dumps()) == scenario
+
+    def test_toml_and_json_agree(self, tmp_path):
+        pytest.importorskip("tomllib")  # stdlib from Python 3.11
+        json_path = tmp_path / "scenario.json"
+        toml_path = tmp_path / "scenario.toml"
+        json_path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "experiment": "tab-star-pd1",
+                    "params": {"sizes": [2, 5]},
+                    "execution": {"backend": "fast"},
+                }
+            )
+        )
+        toml_path.write_text(
+            'schema_version = 1\n'
+            'experiment = "tab-star-pd1"\n'
+            '[params]\n'
+            'sizes = [2, 5]\n'
+            '[execution]\n'
+            'backend = "fast"\n'
+        )
+        from_json = load_scenario(json_path)
+        from_toml = load_scenario(toml_path)
+        assert from_json == from_toml
+        assert from_json.digest() == from_toml.digest()
+
+
+class TestStrictValidation:
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(ScenarioError, match="schema_version 99"):
+            Scenario.from_dict(
+                {"schema_version": 99, "experiment": "tab-star-pd1"}
+            )
+
+    def test_missing_schema_version_rejected(self):
+        with pytest.raises(ScenarioError, match="schema_version"):
+            Scenario.from_dict({"experiment": "tab-star-pd1"})
+
+    def test_unknown_top_level_key_named(self):
+        with pytest.raises(ScenarioError, match="'bogus'"):
+            Scenario.from_dict(
+                {
+                    "schema_version": 1,
+                    "experiment": "tab-star-pd1",
+                    "bogus": 1,
+                }
+            )
+
+    def test_unknown_execution_option_named(self):
+        with pytest.raises(ScenarioError, match="'threads'"):
+            Scenario.from_dict(
+                {
+                    "schema_version": 1,
+                    "experiment": "tab-star-pd1",
+                    "execution": {"threads": 4},
+                }
+            )
+
+    def test_cli_only_execution_options_rejected(self):
+        # --cache-dir / --inject-fault are per-invocation flags, not
+        # scenario properties.
+        for key in ("cache_dir", "inject_fault"):
+            with pytest.raises(ScenarioError, match=key):
+                Scenario.from_dict(
+                    {
+                        "schema_version": 1,
+                        "experiment": "tab-star-pd1",
+                        "execution": {key: "x"},
+                    }
+                )
+
+    def test_unknown_experiment_rejected_on_validate(self):
+        scenario = Scenario(experiment="tab-nonsense")
+        with pytest.raises(ScenarioError, match="tab-nonsense"):
+            scenario.validate()
+
+    def test_grid_value_must_be_list(self):
+        with pytest.raises(ScenarioError, match="'sizes'"):
+            Scenario(experiment="tab-star-pd1", grid={"sizes": 5})
+
+    def test_non_json_param_rejected_at_boundary(self):
+        scenario = Scenario(
+            experiment="tab-star-pd1", params={"sizes": {2, 5}}
+        )
+        with pytest.raises(TypeError, match="'sizes'"):
+            scenario.validate()
+
+    def test_bad_execution_value_message_scoped(self):
+        with pytest.raises(ScenarioError, match="execution: .*jobs"):
+            Scenario.from_dict(
+                {
+                    "schema_version": 1,
+                    "experiment": "tab-star-pd1",
+                    "execution": {"jobs": 0},
+                }
+            )
+
+
+class TestGoldenDigests:
+    """Scenario-compiled requests must hit the exact cache/journal keys
+    hand-built requests produce -- pinned hex, not just self-consistency,
+    so accidental identity changes fail loudly."""
+
+    GOLDEN = {
+        ("tab-star-pd1", ()): "5b08dbc5a2e883aa",
+        ("tab-star-pd1", (("backend", "fast"),)): "bfbc2b5839a3d461",
+        ("tab-star-pd1", (("sizes", (2, 5)),)): "8ae8498c29611f50",
+        ("tab-kernel-structure", ()): "7d70001661e76efa",
+        (
+            "tab-token-dissemination",
+            (("backend", "fast"), ("seed", 7)),
+        ): "e86e382ade1f66a5",
+        (
+            "tab-ambiguity-horizon",
+            (("jobs", 2), ("sizes", (2, 5, 14))),
+        ): "ba30a4bc21e5f538",
+    }
+
+    def test_plain_scenario_matches_handwritten(self):
+        scenario = Scenario(experiment="tab-star-pd1")
+        [request] = scenario.compile()
+        assert request == ExperimentRequest("tab-star-pd1")
+        assert request_key(request) == self.GOLDEN[("tab-star-pd1", ())]
+
+    def test_execution_backend_matches_handwritten(self):
+        scenario = Scenario.from_dict(
+            {
+                "schema_version": 1,
+                "experiment": "tab-star-pd1",
+                "execution": {"backend": "fast"},
+            }
+        )
+        [request] = scenario.compile()
+        assert request == ExperimentRequest("tab-star-pd1", backend="fast")
+        assert (
+            request_key(request)
+            == self.GOLDEN[("tab-star-pd1", (("backend", "fast"),))]
+        )
+
+    def test_json_list_params_share_tuple_digest(self):
+        # JSON files can only write lists; json.dumps renders tuples as
+        # lists, so the digests coincide by construction -- pinned here.
+        scenario = Scenario(
+            experiment="tab-star-pd1", params={"sizes": [2, 5]}
+        )
+        [request] = scenario.compile()
+        handwritten = ExperimentRequest(
+            "tab-star-pd1", params={"sizes": (2, 5)}
+        )
+        golden = self.GOLDEN[("tab-star-pd1", (("sizes", (2, 5)),))]
+        assert request_key(request) == golden
+        assert request_key(handwritten) == golden
+
+    def test_backend_seed_options_match_handwritten(self):
+        scenario = Scenario.from_dict(
+            {
+                "schema_version": 1,
+                "experiment": "tab-token-dissemination",
+                "execution": {"backend": "fast", "seed": 7},
+            }
+        )
+        [request] = scenario.compile()
+        golden = self.GOLDEN[
+            ("tab-token-dissemination", (("backend", "fast"), ("seed", 7)))
+        ]
+        assert request_key(request) == golden
+
+    def test_grid_option_field_matches_handwritten(self):
+        scenario = Scenario.from_dict(
+            {
+                "schema_version": 1,
+                "experiment": "tab-ambiguity-horizon",
+                "params": {"sizes": [2, 5, 14]},
+                "grid": {"jobs": [2]},
+            }
+        )
+        [request] = scenario.compile()
+        golden = self.GOLDEN[
+            ("tab-ambiguity-horizon", (("jobs", 2), ("sizes", (2, 5, 14))))
+        ]
+        assert request_key(request) == golden
+
+    def test_task_keys_are_journal_identities(self):
+        scenario = Scenario(
+            experiment="tab-star-pd1", params={"sizes": [2, 5]}
+        )
+        [request] = scenario.compile()
+        assert scenario.task_keys() == [
+            Journal.task_key("tab-star-pd1", request_key(request))
+        ]
+
+
+class TestGridCompilation:
+    def test_cartesian_product_order(self):
+        scenario = Scenario(
+            experiment="tab-star-pd1",
+            grid={"backend": ["object", "fast"], "sizes": [[2], [5]]},
+        )
+        requests = scenario.compile()
+        assert [
+            (r.backend, tuple(r.params.get("sizes", ()))) for r in requests
+        ] == [
+            ("object", (2,)),
+            ("object", (5,)),
+            ("fast", (2,)),
+            ("fast", (5,)),
+        ]
+        # "object" is the engine default: effective_params drops it, so
+        # the cache key equals the keyless hand-built request's.
+        assert request_key(requests[0]) == request_key(
+            ExperimentRequest("tab-star-pd1", params={"sizes": (2,)})
+        )
+
+    def test_cache_policy_flows_to_requests(self):
+        scenario = Scenario(experiment="tab-star-pd1", cache_policy="off")
+        [request] = scenario.compile()
+        assert request.cache_policy == "off"
+
+    def test_digest_is_stable_across_equivalent_documents(self):
+        a = Scenario.from_dict(
+            {"schema_version": 1, "experiment": "tab-star-pd1"}
+        )
+        b = Scenario.from_dict(
+            {
+                "schema_version": 1,
+                "experiment": "tab-star-pd1",
+                "name": "tab-star-pd1",
+                "execution": {},
+            }
+        )
+        assert a.digest() == b.digest()
+
+
+class TestExperimentRequestSerialisation:
+    def test_round_trip(self):
+        request = ExperimentRequest(
+            "tab-token-dissemination",
+            params={"sizes": (2, 5)},
+            backend="fast",
+            seed=7,
+            cache_policy="refresh",
+        )
+        rebuilt = ExperimentRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))
+        )
+        # Tuples arrive back as lists; identity is via effective_params.
+        assert request_key(rebuilt) == request_key(request)
+        assert rebuilt.backend == "fast"
+        assert rebuilt.seed == 7
+        assert rebuilt.cache_policy == "refresh"
+
+    def test_unknown_key_named(self):
+        with pytest.raises(ValueError, match="'banana'"):
+            ExperimentRequest.from_dict(
+                {"experiment": "tab-star-pd1", "banana": 1}
+            )
