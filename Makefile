@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-smoke bench-dynamic-smoke bench-scale-smoke shard-smoke trace-smoke verify-smoke serve-smoke experiments report examples all
+.PHONY: install test check bench bench-smoke bench-dynamic-smoke bench-scale-smoke shard-smoke trace-smoke verify-smoke zoo-smoke serve-smoke experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -106,7 +106,7 @@ trace-smoke:
 	$(PYTHON) -m repro stats .trace-smoke/metrics.json \
 		.trace-smoke/events.jsonl > /dev/null
 
-# Property-based verification gate: fixed-seed fuzz over all four
+# Property-based verification gate: fixed-seed fuzz over all five
 # suites, then the seeded-mutant self-test proving the harness detects,
 # shrinks, and replays injected violations (docs/VERIFICATION.md).
 # Shrunk counterexamples land in .repro-verify/ for CI to archive.
@@ -114,6 +114,23 @@ verify-smoke:
 	$(PYTHON) -m repro verify --fuzz 50 --seed 0 --fixtures-dir .repro-verify
 	$(PYTHON) -m repro verify --self-test --fixtures-dir .repro-verify-selftest
 	@rm -rf .repro-verify-selftest
+
+# Algorithm-zoo gate: a small upper-vs-lower sweep on both backends
+# (every check must pass: count == n exactly, never below the
+# Theorem 1 horizon) plus a fixed-seed run of the counting suite
+# (correctness + object-vs-fast drain differentials).  Counterexample
+# fixtures land in .repro-zoo-verify/ for CI to archive on failure.
+zoo-smoke:
+	@rm -rf .repro-zoo-verify .zoo-smoke.out
+	$(PYTHON) -m repro run upper-vs-lower --param "sizes=(3,5)" \
+		| tee .zoo-smoke.out
+	grep -q "memoryless_random_dv_exact: PASS" .zoo-smoke.out
+	! grep -q "FAIL" .zoo-smoke.out
+	$(PYTHON) -m repro run upper-vs-lower --param "sizes=(3,5)" \
+		--backend fast > /dev/null
+	$(PYTHON) -m repro verify --suite counting --fuzz 40 --seed 0 \
+		--fixtures-dir .repro-zoo-verify
+	@rm -f .zoo-smoke.out
 
 # Experiment-service smoke: validate the example scenarios, start the
 # HTTP service, submit the same scenario twice, and prove the second

@@ -254,6 +254,7 @@ def _build_registry() -> dict[str, ExperimentSpec]:
         naming,
         oracle,
         randomness,
+        upper_vs_lower,
     )
 
     def spec(
@@ -294,6 +295,9 @@ def _build_registry() -> dict[str, ExperimentSpec]:
         "tab-bandwidth": spec(bandwidth.bandwidth_table),
         "tab-token-dissemination": spec(
             dissemination.token_dissemination, "backend", "seed"
+        ),
+        "upper-vs-lower": spec(
+            upper_vs_lower.upper_vs_lower, "backend", "seed"
         ),
     }
 

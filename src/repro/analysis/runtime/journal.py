@@ -105,26 +105,36 @@ def merge_journals(
     ``ts`` stamp (ties keep source order), reconstructing a plausible
     global timeline; sweep/aborted markers ride along, and unreadable
     lines are skipped with a warning, exactly as replay would skip
-    them.  The merged file replays as if one machine had journalled the
-    whole sweep, so ``--resume`` against it skips every task any shard
-    completed.
+    them.  A record without a ``ts`` stamp inherits its predecessor's
+    stamp from the same source file -- it must keep its position in
+    that file's timeline, not teleport to the front of the merge and
+    reorder its task's event sequence.  The merged file replays as if
+    one machine had journalled the whole sweep, so ``--resume`` against
+    it skips every task any shard completed.
     """
     sources = [Path(source) for source in sources]
     if not sources:
         raise ValueError("need at least one journal to merge")
-    records: list[dict[str, Any]] = []
+    keyed: list[tuple[float, dict[str, Any]]] = []
     for source in sources:
+        last_ts = float("-inf")
         for line in source.read_text().splitlines():
             if not line.strip():
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except ValueError:
                 _log.warning(
                     "skipping unreadable journal line during merge",
                     extra={"path": str(source)},
                 )
-    records.sort(key=lambda record: record.get("ts", 0.0))
+                continue
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)) and not isinstance(ts, bool):
+                last_ts = float(ts)
+            keyed.append((last_ts, record))
+    keyed.sort(key=lambda pair: pair[0])
+    records = [record for _ts, record in keyed]
     out = Path(out_path)
     out.parent.mkdir(parents=True, exist_ok=True)
     with open(out, "w", encoding="utf-8") as stream:

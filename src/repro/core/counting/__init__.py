@@ -15,15 +15,39 @@
 * :mod:`repro.core.counting.flooding` -- protocol-level flooding, used
   to measure dissemination time / the dynamic diameter through the real
   engine.
+
+The *algorithm zoo* -- published anonymous counting upper bounds raced
+against the paper's Theorem 1 horizon by the ``upper-vs-lower``
+experiment:
+
+* :mod:`repro.core.counting.history` -- shared history-tree views and
+  the exact multiplicity solver.
+* :mod:`repro.core.counting.diluna_viglietta` -- Di Luna-Viglietta
+  linear-time counting with a unique leader (arXiv 2204.02128).
+* :mod:`repro.core.counting.kowalski_mosteiro` -- Kowalski-Mosteiro
+  counting with ``ell`` indistinguishable supervisors instead of a
+  leader (arXiv 2104.02937).
+* :mod:`repro.core.counting.drain` -- the Milani-Mosteiro doubling
+  drain (arXiv 1509.02140) and Chakraborty-Milani-Mosteiro Incremental
+  Counting (arXiv 1603.05459), exact fixed-point mass draining with a
+  bit-identical fast backend.
 """
 
 from repro.core.counting.base import CountingOutcome
 from repro.core.counting.degree_oracle import count_pd2_with_degree_oracle
+from repro.core.counting.diluna_viglietta import count_diluna_viglietta
+from repro.core.counting.drain import (
+    count_chakraborty_mm,
+    count_chakraborty_mm_batch,
+    count_milani_mosteiro,
+    count_milani_mosteiro_batch,
+)
 from repro.core.counting.flooding import flood_time_via_protocol, flood_times_batch
 from repro.core.counting.gossip import (
     gossip_size_estimates,
     gossip_size_estimates_batch,
 )
+from repro.core.counting.kowalski_mosteiro import count_kowalski_mosteiro
 from repro.core.counting.optimal import (
     OptimalLeaderProcess,
     count_mdbl2,
@@ -35,8 +59,14 @@ from repro.core.counting.token_ids import count_with_ids, count_with_ids_batch
 __all__ = [
     "CountingOutcome",
     "OptimalLeaderProcess",
+    "count_chakraborty_mm",
+    "count_chakraborty_mm_batch",
+    "count_diluna_viglietta",
+    "count_kowalski_mosteiro",
     "count_mdbl2",
     "count_mdbl2_abstract",
+    "count_milani_mosteiro",
+    "count_milani_mosteiro_batch",
     "count_pd2_with_degree_oracle",
     "count_star",
     "count_with_ids",

@@ -152,7 +152,11 @@ class _Handler(BaseHTTPRequestHandler):
         The stream is close-delimited (``Connection: close``): with
         ``follow`` the handler keeps polling the file and flushing new
         whole lines until the job reaches a terminal state and the
-        file is drained.
+        file is drained.  A torn trailing line on a *finished* job can
+        never be completed by the writer, so after a short grace period
+        (two 20 ms re-reads, under one 50 ms poll interval) the partial
+        tail is flushed as-is and the stream closes -- it must not spin
+        waiting for a newline that will never arrive.
         """
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
@@ -160,6 +164,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.close_connection = True
         offset = 0
+        grace = 2
         while True:
             chunk = b""
             try:
@@ -168,23 +173,30 @@ class _Handler(BaseHTTPRequestHandler):
                     chunk = stream.read()
             except OSError:
                 pass  # not started yet: nothing to send this tick
-            if chunk:
-                # Only forward whole lines; a torn trailing line is
-                # re-read once the writer finishes it.
-                cut = chunk.rfind(b"\n") + 1
-                if cut:
-                    self.wfile.write(chunk[:cut])
-                    self.wfile.flush()
-                    offset += cut
-            done = job.done
-            if not follow or (done and not chunk):
+            # Only forward whole lines; a torn trailing line is re-read
+            # once the writer finishes it.
+            cut = chunk.rfind(b"\n") + 1 if chunk else 0
+            if cut:
+                self.wfile.write(chunk[:cut])
+                self.wfile.flush()
+                offset += cut
+            tail = chunk[cut:]
+            if not follow:
                 return
-            if not chunk and not done:
-                time.sleep(0.05)
-            elif done:
-                continue  # drain what accumulated after the state flip
-            else:
-                time.sleep(0.02)
+            if job.done:
+                if not chunk:
+                    return
+                if not tail:
+                    continue  # drain what accumulated after the flip
+                if grace > 0:
+                    # The writer may be mid-line; give it a beat.
+                    grace -= 1
+                    time.sleep(0.02)
+                    continue
+                self.wfile.write(tail)
+                self.wfile.flush()
+                return
+            time.sleep(0.02 if chunk else 0.05)
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server API
         counter("service.http.requests")

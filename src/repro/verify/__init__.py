@@ -15,6 +15,10 @@ relying only on hand-picked examples.  Three layers:
 * :mod:`repro.verify.drivers` -- differential drivers: object engine
   vs fast backend (outputs, rounds, ``engine.*`` counters) and serial
   vs pooled vs resumed sweeps.
+* :mod:`repro.verify.counting` -- the algorithm-zoo oracle: every
+  counting algorithm must output ``count == n`` at or above the
+  Theorem 1 horizon, and the vectorized drains must match the object
+  engine exactly.
 
 :mod:`repro.verify.harness` orchestrates them (``repro verify`` on the
 command line), and :mod:`repro.verify.mutation` holds the seeded
@@ -34,6 +38,7 @@ from repro.verify.harness import (
     write_fixture,
 )
 from repro.verify.strategies import (
+    COUNTING_KINDS,
     SUITES,
     Case,
     generate_cases,
@@ -42,6 +47,7 @@ from repro.verify.strategies import (
 )
 
 __all__ = [
+    "COUNTING_KINDS",
     "SUITES",
     "Case",
     "SuiteReport",

@@ -1,0 +1,142 @@
+"""Counting-zoo oracles: ``count == n`` plus object-vs-fast drains.
+
+The algorithm zoo (:mod:`repro.core.counting`) implements four
+published anonymous counting upper bounds.  Their correctness contract
+is unusually crisp -- a counting algorithm must output *exactly* the
+network size, and Theorem 1 forbids it from doing so before round
+``floor(log3(2n+1)) - 1`` -- which makes every generated network a
+free oracle:
+
+* **Correctness** -- every algorithm's outcome must report
+  ``count == n`` and an output round at or above the Theorem 1
+  horizon, on every generated family (``G(PD)_h``, T-interval,
+  edge-markov).
+* **Differential** -- the drain-based algorithms (Milani-Mosteiro,
+  Chakraborty-Milani-Mosteiro) ship a vectorized fast backend; the
+  object engine and the fast batch (including chunked streaming via
+  ``max_lane_nodes``) must agree on the full
+  :class:`~repro.core.counting.base.CountingOutcome` *and* on the
+  ``engine.*`` observability counters, exactly like the backend suite.
+
+The history-tree algorithms (Di Luna-Viglietta, Kowalski-Mosteiro) do
+not vectorize, so they run correctness-only on the object engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.counting.base import CountingOutcome
+from repro.core.counting.diluna_viglietta import count_diluna_viglietta
+from repro.core.counting.drain import (
+    count_chakraborty_mm,
+    count_chakraborty_mm_batch,
+    count_milani_mosteiro,
+    count_milani_mosteiro_batch,
+)
+from repro.core.counting.kowalski_mosteiro import count_kowalski_mosteiro
+from repro.core.lowerbound.bounds import theorem1_bound
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.verify.drivers import ENGINE_COUNTERS
+from repro.verify.strategies import Case, build_network
+
+__all__ = ["case_population", "check_counting_case"]
+
+_DRAIN_SINGLE = {
+    "milani-mosteiro": count_milani_mosteiro,
+    "chakraborty-mm": count_chakraborty_mm,
+}
+_DRAIN_BATCH = {
+    "milani-mosteiro": count_milani_mosteiro_batch,
+    "chakraborty-mm": count_chakraborty_mm_batch,
+}
+
+
+def case_population(case: Case) -> int:
+    """The true node count of a counting case's network."""
+    params = case.params
+    if "n" in params:
+        return int(params["n"])
+    # G(PD)_h networks are described by layer sizes plus the center.
+    return 1 + sum(int(size) for size in params["layers"])
+
+
+def _correctness(outcome: CountingOutcome, n: int, label: str) -> list[str]:
+    violations: list[str] = []
+    if outcome.count != n:
+        violations.append(
+            f"{label}: counted {outcome.count} on a {n}-node network"
+        )
+    horizon = theorem1_bound(n)
+    if outcome.output_round < horizon:
+        violations.append(
+            f"{label}: output at round {outcome.output_round}, below "
+            f"the Theorem 1 horizon {horizon} for n={n}"
+        )
+    return violations
+
+
+def _lane_networks(case: Case) -> list:
+    """One deterministic network per lane, all from the case seed."""
+    return [
+        build_network(
+            Case(case.suite, case.kind, case.seed + lane, case.params)
+        )
+        for lane in range(int(case.params.get("lanes", 1)))
+    ]
+
+
+def _check_drain_case(case: Case, n: int) -> list[str]:
+    legs: dict[str, list[CountingOutcome]] = {}
+    counters: dict[str, dict[str, float]] = {}
+    for backend in ("object", "fast"):
+        # Fresh networks per leg (identical by construction) so neither
+        # leg can leak state through the per-round graph cache.
+        networks = _lane_networks(case)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            if backend == "fast":
+                legs[backend] = _DRAIN_BATCH[case.kind](
+                    networks,
+                    max_lane_nodes=case.params.get("max_lane_nodes"),
+                )
+            else:
+                legs[backend] = [
+                    _DRAIN_SINGLE[case.kind](network, backend="object")
+                    for network in networks
+                ]
+        snapshot = registry.snapshot()["counters"]
+        counters[backend] = {
+            name: snapshot.get(name, 0) for name in ENGINE_COUNTERS
+        }
+
+    violations: list[str] = []
+    for lane, outcome in enumerate(legs["object"]):
+        violations.extend(
+            _correctness(outcome, n, f"{case.kind}[lane {lane}]")
+        )
+    if legs["object"] != legs["fast"]:
+        violations.append(
+            f"{case.kind}: object backend returned {legs['object']!r} "
+            f"but fast backend returned {legs['fast']!r}"
+        )
+    for name in ENGINE_COUNTERS:
+        if counters["object"][name] != counters["fast"][name]:
+            violations.append(
+                f"{case.kind}: counter {name} = {counters['object'][name]} "
+                f"(object) vs {counters['fast'][name]} (fast)"
+            )
+    return violations
+
+
+def check_counting_case(case: Case) -> list[str]:
+    """Run the counting-suite oracle on one generated case."""
+    n = case_population(case)
+    if case.kind == "diluna-viglietta":
+        outcome = count_diluna_viglietta(build_network(case))
+        return _correctness(outcome, n, case.kind)
+    if case.kind == "kowalski-mosteiro":
+        outcome = count_kowalski_mosteiro(
+            build_network(case),
+            supervisors=int(case.params.get("supervisors", 1)),
+        )
+        return _correctness(outcome, n, case.kind)
+    return _check_drain_case(case, n)

@@ -34,6 +34,7 @@ from repro.obs.logger import get_logger
 from repro.obs.metrics import counter
 from repro.obs.spans import span
 from repro.verify import mutation
+from repro.verify.counting import check_counting_case
 from repro.verify.drivers import check_backend_case, check_runtime_case
 from repro.verify.oracles import check_kernel_case, check_model_case
 from repro.verify.strategies import (
@@ -62,12 +63,18 @@ CHECKERS: dict[str, Callable[[Case], list[str]]] = {
     "kernel": check_kernel_case,
     "backend": check_backend_case,
     "runtime": check_runtime_case,
+    "counting": check_counting_case,
 }
 
 #: The runtime suite runs every workload three full times (serial,
 #: pooled, resumed), so it draws one case per this many fuzz units --
 #: ``--fuzz 200`` means 200 cases for the cheap suites and 5 sweeps.
 RUNTIME_CASE_DIVISOR = 40
+
+#: Counting cases run whole algorithm executions (the drain kinds run
+#: one per backend per lane), so the suite draws one case per this
+#: many fuzz units -- ``--fuzz 50`` means 10 counting cases.
+COUNTING_CASE_DIVISOR = 5
 
 
 @dataclass
@@ -165,6 +172,8 @@ def run_case(case: Case) -> list[str]:
 def _suite_case_count(suite: str, fuzz: int) -> int:
     if suite == "runtime":
         return max(1, fuzz // RUNTIME_CASE_DIVISOR)
+    if suite == "counting":
+        return max(1, fuzz // COUNTING_CASE_DIVISOR)
     return fuzz
 
 

@@ -46,6 +46,7 @@ from repro.networks.generators.random_dynamic import (
 )
 
 __all__ = [
+    "COUNTING_KINDS",
     "Case",
     "MODEL_KINDS",
     "SUITES",
@@ -55,8 +56,8 @@ __all__ = [
     "shrink_candidates",
 ]
 
-SUITES = ("model", "kernel", "backend", "runtime")
-"""The four verification suites (see :mod:`repro.verify.harness`)."""
+SUITES = ("model", "kernel", "backend", "runtime", "counting")
+"""The five verification suites (see :mod:`repro.verify.harness`)."""
 
 MODEL_KINDS = (
     "pd",
@@ -71,6 +72,16 @@ MODEL_KINDS = (
 
 _BACKEND_FAMILIES = ("arbitrary", "markov", "t-interval", "precompiled")
 _BACKEND_PROTOCOLS = ("flood", "token-ids", "dissemination")
+
+COUNTING_KINDS = (
+    "diluna-viglietta",
+    "kowalski-mosteiro",
+    "milani-mosteiro",
+    "chakraborty-mm",
+)
+"""The algorithm zoo the counting suite fuzzes (``count == n``)."""
+
+_COUNTING_FAMILIES = ("pd", "t-interval", "markov")
 
 #: Cheap experiments the runtime suite composes into sweep workloads,
 #: with per-experiment parameter draws (kept tiny: every workload runs
@@ -242,11 +253,34 @@ def _runtime_case(rng: random.Random) -> Case:
     )
 
 
+def _counting_case(rng: random.Random) -> Case:
+    kind = rng.choice(COUNTING_KINDS)
+    family = rng.choice(_COUNTING_FAMILIES)
+    params: dict[str, Any] = {"family": family}
+    if family == "pd":
+        # n = 1 + sum(layers), so every pd draw has n >= 2.
+        params["layers"] = [
+            rng.randint(1, 3) for _ in range(rng.randint(1, 2))
+        ]
+    else:
+        params["n"] = rng.randint(2, 8)
+    if kind == "kowalski-mosteiro":
+        params["supervisors"] = rng.randint(1, 2)
+    if kind in ("milani-mosteiro", "chakraborty-mm"):
+        # The drain algorithms have a vectorized backend: fuzz the lane
+        # count and the streaming chunk budget so every case doubles as
+        # an object-vs-fast (and chunked-vs-monolithic) differential.
+        params["lanes"] = rng.randint(1, 2)
+        params["max_lane_nodes"] = rng.choice([None, rng.randint(1, 4)])
+    return Case("counting", kind, rng.randrange(2**31), params)
+
+
 _GENERATORS: dict[str, Callable[[random.Random], Case]] = {
     "model": _model_case,
     "kernel": _kernel_case,
     "backend": _backend_case,
     "runtime": _runtime_case,
+    "counting": _counting_case,
 }
 
 
@@ -366,11 +400,18 @@ _INT_MINS: dict[tuple[str | None, str], int] = {
     (None, "n"): 1,
     ("t-interval", "n"): 2,
     ("markov", "n"): 2,
+    # Counting cases may carry any family in params, including the
+    # two-node-minimum markov family, so n never shrinks below 2.
+    ("diluna-viglietta", "n"): 2,
+    ("kowalski-mosteiro", "n"): 2,
+    ("milani-mosteiro", "n"): 2,
+    ("chakraborty-mm", "n"): 2,
     (None, "t"): 1,
     (None, "prefix"): 1,
     (None, "r"): 0,
     (None, "lanes"): 1,
     (None, "max_lane_nodes"): 1,
+    (None, "supervisors"): 1,
 }
 
 
@@ -388,6 +429,11 @@ def _clamp(case: Case) -> Case:
     ):
         # A T-interval window needs at least T rounds to be checkable.
         return case.with_params(rounds=params["t"])
+    if case.kind == "kowalski-mosteiro" and "supervisors" in params:
+        # Supervisors are node indices, so there can be at most n.
+        n = params.get("n", 1 + sum(params.get("layers", [])))
+        if params["supervisors"] > n:
+            return case.with_params(supervisors=n)
     return case
 
 

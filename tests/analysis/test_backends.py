@@ -47,6 +47,7 @@ BACKEND_EXPERIMENTS: dict[str, dict] = {
     },
     "tab-dynamics-families": {"n": 12, "gossip_rounds": 60, "check_rounds": 6},
     "tab-token-dissemination": {"sizes": (8, 16), "tokens_per_size": (2,)},
+    "upper-vs-lower": {"sizes": (3, 5)},
 }
 
 

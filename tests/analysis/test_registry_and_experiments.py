@@ -38,6 +38,7 @@ class TestRegistry:
             "tab-dynamics-families",
             "tab-bandwidth",
             "tab-token-dissemination",
+            "upper-vs-lower",
         }
         assert set(available_experiments()) == expected
 
@@ -108,6 +109,7 @@ SMALL_PARAMS = {
         "check_rounds": 8,
         "gossip_rounds": 60,
     },
+    "upper-vs-lower": {"sizes": (3, 5)},
 }
 
 

@@ -594,6 +594,44 @@ class TestMergeJournals:
         ]
         assert stamps == sorted(stamps)
 
+    def test_stampless_records_keep_source_position(self, tmp_path):
+        from repro.analysis.runtime import merge_journals
+
+        import json as json_mod
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        # Shard a's "completed" line lost its ts stamp (a torn write).
+        # It must stay *after* its own "started" line -- under the old
+        # sort-by-ts-default-0.0 it teleported to the front of the
+        # merge, last-event-wins replay regressed the task to
+        # "started", and --resume re-ran a completed task.
+        a.write_text(
+            json_mod.dumps({"event": "started", "task": "t", "ts": 5.0})
+            + "\n"
+            + json_mod.dumps(
+                {"event": "completed", "task": "t", "result_path": "r.json"}
+            )
+            + "\n"
+        )
+        # Shard b *leads* with a stamp-less line: it inherits nothing
+        # and stays at the front, in source order.
+        b.write_text(
+            json_mod.dumps({"event": "sweep", "tasks": 1})
+            + "\n"
+            + json_mod.dumps({"event": "aborted", "failures": 0, "ts": 1.0})
+            + "\n"
+        )
+        out = tmp_path / "merged.jsonl"
+        assert merge_journals(out, [a, b]) == 4
+        events = [
+            json_mod.loads(line)["event"]
+            for line in out.read_text().splitlines()
+        ]
+        assert events == ["sweep", "aborted", "started", "completed"]
+        entry = Journal(out).replay()["t"]
+        assert entry.status == "completed"
+        assert entry.result_path == "r.json"
+
     def test_merge_requires_sources(self, tmp_path):
         from repro.analysis.runtime import merge_journals
 

@@ -5,6 +5,7 @@ stitches to one trace root, and schema-boundary rejections."""
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -182,6 +183,35 @@ class TestHttpService:
         [trace] = traces
         assert [root.name for root in trace.roots] == ["service.job"]
         client.wait(job_id)
+
+    def test_follow_closes_on_finished_job_with_torn_tail(
+        self, service, client
+    ):
+        # Regression: a finished job whose events file ends in a torn
+        # line (no trailing newline) used to busy-spin the follow
+        # handler forever -- the "whole lines only" cut never advanced
+        # and the done-and-drained exit never fired.  The stream must
+        # flush the partial tail and close within a poll interval.
+        submission = client.submit(
+            {**SMOKE, "name": "torn-tail", "cache_policy": "refresh"}
+        )
+        job_id = submission["job"]
+        client.wait(job_id)
+        job = service.manager.get(job_id)
+        with open(job.events_path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "torn"}')  # deliberately no newline
+        start = time.monotonic()
+        with urllib.request.urlopen(
+            f"{service.url}/jobs/{job_id}/events?follow=1", timeout=30
+        ) as response:
+            body = response.read()
+        assert time.monotonic() - start < 5.0
+        assert body.endswith(b'{"event": "torn"}')
+        # Everything before the torn tail arrived as intact JSONL.
+        whole, _, tail = body.rpartition(b"\n")
+        assert json.loads(tail) == {"event": "torn"}
+        for line in whole.splitlines():
+            json.loads(line)
 
     def test_unknown_scenario_key_is_http_400(self, client):
         with pytest.raises(ServiceError, match="'bogus'") as err:

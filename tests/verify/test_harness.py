@@ -38,7 +38,13 @@ class TestRunVerify:
 
     def test_default_runs_all_suites_in_order(self, tmp_path):
         report = run_verify(fuzz=1, fixtures_dir=tmp_path)
-        assert list(report.suites) == ["model", "kernel", "backend", "runtime"]
+        assert list(report.suites) == [
+            "model",
+            "kernel",
+            "backend",
+            "runtime",
+            "counting",
+        ]
 
     def test_counters_maintained(self, tmp_path):
         with use_registry(MetricsRegistry()) as registry:
